@@ -1,0 +1,52 @@
+"""Extension: LAN-WAN federation across SoC-Cluster servers.
+
+Two edge sites train the same job with SoCFlow locally and average
+weights over a 100 Mbps WAN every round.  The shape to check: the WAN
+sync adds only a small overhead when delayed (the whole point of the
+hierarchy), and a starved uplink visibly hurts.
+"""
+
+from dataclasses import replace
+
+from conftest import print_block
+
+from repro.cluster import ClusterTopology, EdgeSite
+from repro.core import CrossSiteConfig, CrossSiteSoCFlow
+from repro.harness import format_table
+
+
+def _sites(wan_bps):
+    return tuple(EdgeSite(f"site{i}", ClusterTopology(num_socs=16),
+                          wan_bps=wan_bps) for i in range(2))
+
+
+def test_cross_site_training(benchmark, suite):
+    def compute():
+        config = replace(suite.config("vgg11", num_socs=16, max_epochs=4),
+                         num_groups=4)
+        single = suite.run("vgg11", "socflow", num_socs=16, max_epochs=4)
+        fast_wan = CrossSiteSoCFlow(CrossSiteConfig(
+            sites=_sites(100e6), site_sync_every=2)).train(config)
+        slow_wan = CrossSiteSoCFlow(CrossSiteConfig(
+            sites=_sites(5e6), site_sync_every=2)).train(config)
+        return single, fast_wan, slow_wan
+
+    single, fast_wan, slow_wan = benchmark.pedantic(compute, rounds=1,
+                                                    iterations=1)
+    rows = [
+        ["1 site x16 SoCs", round(single.sim_time_hours, 4),
+         round(100 * single.best_accuracy, 1)],
+        ["2 sites, 100 Mbps WAN", round(fast_wan.sim_time_hours, 4),
+         round(100 * fast_wan.best_accuracy, 1)],
+        ["2 sites, 5 Mbps WAN", round(slow_wan.sim_time_hours, 4),
+         round(100 * slow_wan.best_accuracy, 1)],
+    ]
+    print_block("LAN-WAN federation (VGG-11, 4 epochs)",
+                format_table(["deployment", "hours", "best_acc_pct"], rows))
+
+    # a starved uplink costs real time
+    assert slow_wan.sim_time_s > fast_wan.sim_time_s
+    # two sites split the data; per-round wall time stays in the same
+    # order as the single-site run plus WAN sync
+    assert fast_wan.sim_time_s < 4 * single.sim_time_s
+    assert fast_wan.extra["num_sites"] == 2

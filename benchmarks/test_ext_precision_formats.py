@@ -1,0 +1,61 @@
+"""Extension: the §5 future-work precision formats, INT4/8/16 and FP16.
+
+"These NPUs now concurrently accommodate a diverse range of
+low-precision data formats, including INT4, INT8, INT16, and FP16."
+This sweep trains the same model under each format on the simulated NPU
+and reports accuracy — the expected shape is monotone in precision,
+with FP16 ~lossless and INT4 visibly degraded.
+"""
+
+import numpy as np
+from conftest import print_block
+
+from repro.data import load_dataset
+from repro.distributed.base import evaluate_accuracy
+from repro.harness import format_table
+from repro.nn.models import build_model
+from repro.quant import Int8Trainer, QuantConfig
+
+FORMATS = {
+    "int4": QuantConfig(bits=4),
+    "int8": QuantConfig(bits=8),
+    "int16": QuantConfig(bits=16),
+    "fp16": QuantConfig(float16=True),
+}
+EPOCHS = 5
+
+
+def _train_with(config: QuantConfig, task) -> float:
+    model = build_model("vgg11", num_classes=task.num_classes,
+                        in_channels=3, image_size=16, width=0.25, seed=0)
+    trainer = Int8Trainer(model, lr=0.05, config=config, momentum=0.9,
+                          seed=0)
+    rng = np.random.default_rng(0)
+    best = 0.0
+    for _ in range(EPOCHS):
+        order = rng.permutation(len(task.x_train))
+        for start in range(0, len(order) - 15, 16):
+            idx = order[start:start + 16]
+            trainer.train_step(task.x_train[idx], task.y_train[idx])
+        best = max(best, evaluate_accuracy(model, task.x_test, task.y_test))
+    return best
+
+
+def test_precision_format_sweep(benchmark):
+    def compute():
+        task = load_dataset("cifar10", scale=0.04, image_size=16, seed=0)
+        return {name: _train_with(config, task)
+                for name, config in FORMATS.items()}
+
+    accuracy = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_block("§5 extension: NPU format sweep (VGG-11)",
+                format_table(["format", "best_acc_pct"],
+                             [[name, round(100 * acc, 1)]
+                              for name, acc in accuracy.items()]))
+
+    # INT4 is the lossy end; every wider format beats it
+    assert accuracy["int8"] > accuracy["int4"]
+    assert accuracy["int16"] > accuracy["int4"]
+    assert accuracy["fp16"] > accuracy["int4"]
+    # INT4 still learns something (it is usable for tiny tasks)
+    assert accuracy["int4"] > 0.15

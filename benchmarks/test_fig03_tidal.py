@@ -1,0 +1,37 @@
+"""Figure 3: busy-SoC ratio over a day on deployed SoC-Cluster servers.
+
+Regenerates the diurnal series and the facts the paper reads off it:
+<20% average utilisation, ~50x peak-to-trough gap, and a multi-hour
+overnight idle window that bounds training-job length.
+"""
+
+from conftest import print_block
+
+from repro.cluster import TidalTrace
+from repro.harness import format_series, format_table
+
+
+def test_fig03_busy_soc_ratio(benchmark):
+    def compute():
+        trace = TidalTrace(seed=0)
+        hours, busy = trace.sample_day(points_per_hour=1)
+        return trace, hours, busy
+
+    trace, hours, busy = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_block(
+        "Figure 3: busy SoCs (%) over one day",
+        format_series("fig3", [int(h) for h in hours],
+                      [round(100 * b, 1) for b in busy],
+                      x_label="hour", y_label="busy_socs_pct"))
+    window = trace.longest_idle_window(busy_threshold=0.25)
+    print_block("Derived facts", format_table(
+        ["metric", "value"],
+        [["average utilisation", f"{trace.average_utilization():.1%}"],
+         ["peak/trough ratio",
+          f"{trace.busy_ratio(14) / trace.busy_ratio(4):.1f}x"],
+         ["longest idle window (h)", f"{window.duration_hours:.1f}"]]))
+
+    assert trace.average_utilization() < 0.30
+    assert trace.busy_ratio(14) / trace.busy_ratio(4) > 20
+    assert window.duration_hours >= 4.0

@@ -1,0 +1,41 @@
+"""Figure 9: end-to-end training energy at 32 SoCs, all methods."""
+
+from conftest import METHODS, print_block
+
+from repro.harness import format_table
+
+WORKLOADS_FIG9 = ["mobilenet", "vgg11", "resnet18", "lenet5_emnist",
+                  "lenet5_fmnist"]
+
+
+def test_fig09_training_energy(benchmark, suite):
+    def compute():
+        table = {}
+        for workload in WORKLOADS_FIG9:
+            table[workload] = {
+                method: suite.run(workload, method).energy.total_kj
+                for method in METHODS}
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [[w, *(round(table[w][m], 1) for m in METHODS)]
+            for w in WORKLOADS_FIG9]
+    print_block("Figure 9: training energy (kJ, 32 SoCs, equal epochs)",
+                format_table(["workload", *METHODS], rows))
+
+    for workload in WORKLOADS_FIG9:
+        energy = table[workload]
+        # SoCFlow cheapest among distributed-ML methods (paper: 1.9-158x)
+        for method in ("ps", "ring", "hipress", "2d_paral"):
+            assert energy["socflow"] < energy[method], (workload, method)
+        # PS burns the most energy of the DML methods
+        assert energy["ps"] == max(energy[m] for m in
+                                   ("ps", "ring", "hipress", "2d_paral"))
+
+    reduction_ps = table["vgg11"]["ps"] / table["vgg11"]["socflow"]
+    reduction_ring = table["vgg11"]["ring"] / table["vgg11"]["socflow"]
+    print_block("VGG-11 energy reduction", format_table(
+        ["baseline", "factor"],
+        [["ps", round(reduction_ps, 1)], ["ring", round(reduction_ring, 1)]]))
+    assert reduction_ps > reduction_ring > 1.5

@@ -1,0 +1,58 @@
+"""Figure 10: time to reach the target accuracy vs SoC count.
+
+The target is 95% of the reference SSGD run's best accuracy (the paper
+uses 99% relative convergence accuracy; quick-scale runs are noisier,
+so the band is wider).  SoCFlow must keep shrinking its time as SoCs
+are added, while RING barely improves — the core scalability claim.
+"""
+
+from conftest import print_block
+
+from repro.harness import format_table
+
+SOC_COUNTS = [8, 16, 32]
+METHODS_FIG10 = ["ps", "ring", "hipress", "fedavg", "socflow"]
+
+
+def test_fig10_time_to_accuracy_vs_socs(benchmark, suite):
+    def compute():
+        reference = suite.run("vgg11", "ring", num_socs=32, max_epochs=4)
+        target = 0.95 * reference.best_accuracy
+        table = {}
+        for socs in SOC_COUNTS:
+            row = {}
+            for method in METHODS_FIG10:
+                result = suite.run("vgg11", method, num_socs=socs,
+                                   max_epochs=4)
+                reached = [i for i, acc in
+                           enumerate(result.accuracy_history, start=1)
+                           if acc >= target]
+                epochs = reached[0] if reached else result.epochs_run
+                row[method] = (result.sim_time_hours
+                               * epochs / result.epochs_run)
+            table[socs] = row
+        return target, table
+
+    target, table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [[socs, *(round(table[socs][m], 3) for m in METHODS_FIG10)]
+            for socs in SOC_COUNTS]
+    print_block(
+        f"Figure 10: hours to reach {100 * target:.1f}% accuracy (VGG-11)",
+        format_table(["socs", *METHODS_FIG10], rows))
+
+    # SoCFlow is the fastest DML method at every scale, the fastest
+    # overall at the headline 32-SoC scale, and improves with more SoCs
+    for socs in SOC_COUNTS:
+        dml = {m: table[socs][m] for m in ("ps", "ring", "hipress")}
+        assert table[socs]["socflow"] < min(dml.values()), socs
+    assert table[32]["socflow"] == min(table[32].values())
+    assert table[32]["socflow"] < table[8]["socflow"]
+
+    # the gap to RING widens with scale (the paper's 2.6x-larger-at-32
+    # observation, directionally)
+    gap8 = table[8]["ring"] / table[8]["socflow"]
+    gap32 = table[32]["ring"] / table[32]["socflow"]
+    print_block("RING/SoCFlow gap", format_table(
+        ["socs", "factor"], [[8, round(gap8, 1)], [32, round(gap32, 1)]]))
+    assert gap32 > gap8 * 0.8  # never collapses; normally grows

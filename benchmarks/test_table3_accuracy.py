@@ -1,0 +1,68 @@
+"""Table 3: end-to-end convergence accuracy, 8 workloads x 7 methods.
+
+PS / RING / HiPress / 2D-Paral compute mathematically identical updates
+(the paper's numbers agree to the decimal), so their accuracy column is
+produced by one SSGD run; FedAvg and T-FedAvg likewise share client
+math.  SoCFlow's accuracy comes from the full mixed-precision grouped
+run.  Degradation is measured against the single-SoC "Local" column.
+"""
+
+from conftest import print_block
+
+from repro.harness import WORKLOADS, format_table
+
+EPOCHS = 8
+
+
+def test_table3_convergence_accuracy(benchmark, suite):
+    def compute():
+        table = {}
+        for workload in WORKLOADS:
+            local = suite.run(workload, "ring", num_socs=1,
+                              max_epochs=EPOCHS)
+            ssgd = suite.run(workload, "ring", max_epochs=EPOCHS)
+            hipress = suite.run(workload, "hipress", max_epochs=EPOCHS)
+            fedavg = suite.run(workload, "fedavg", max_epochs=EPOCHS)
+            ours = suite.run(workload, "socflow", max_epochs=EPOCHS)
+            table[workload] = {
+                "local": local.best_accuracy,
+                "ps/ring/2d": ssgd.best_accuracy,
+                "hipress": hipress.best_accuracy,
+                "fedavg/tree": fedavg.best_accuracy,
+                "ours": ours.best_accuracy,
+            }
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    headers = ["workload", "local", "ps/ring/2d", "hipress", "fedavg/tree",
+               "ours", "ours_degr"]
+    rows = []
+    for workload, row in table.items():
+        rows.append([
+            workload,
+            *(round(100 * row[c], 1) for c in
+              ("local", "ps/ring/2d", "hipress", "fedavg/tree", "ours")),
+            round(100 * (row["ours"] - row["local"]), 1),
+        ])
+    print_block("Table 3: convergence accuracy (%)",
+                format_table(headers, rows))
+
+    degradations = {"ssgd": [], "fedavg": [], "ours": []}
+    for row in table.values():
+        degradations["ssgd"].append(row["ps/ring/2d"] - row["local"])
+        degradations["fedavg"].append(row["fedavg/tree"] - row["local"])
+        degradations["ours"].append(row["ours"] - row["local"])
+
+    mean = {k: sum(v) / len(v) for k, v in degradations.items()}
+    print_block("Average degradation vs Local (pp)", format_table(
+        ["method", "mean_degradation_pp"],
+        [[k, round(100 * v, 2)] for k, v in mean.items()]))
+
+    # Paper shape: SSGD ~= Local (-0.16pp); FedAvg worst (-2.23pp);
+    # SoCFlow in between (-0.81pp).  At quick scale we assert ordering
+    # with slack rather than the absolute numbers.
+    assert mean["ssgd"] >= mean["fedavg"] - 0.02
+    assert mean["ours"] >= mean["fedavg"] - 0.05
+    # SoCFlow stays within a usable band of Local on average
+    assert mean["ours"] > -0.25

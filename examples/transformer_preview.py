@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Scenario: the paper's §5 outlook — a Transformer on the SoC-Cluster.
+
+Newer NPUs (Snapdragon 8gen1/8gen2) support INT8 *and* FP16 and are up
+to 18x faster, "opening up more opportunities for SoCFlow to train
+relatively larger DNNs, including Transformers".  This example trains a
+compact Vision Transformer with SoCFlow on a simulated 8gen1 cluster,
+using the FP16 NPU format instead of INT8.
+
+Run:  python examples/transformer_preview.py
+"""
+
+from dataclasses import replace
+
+from repro.cluster import ClusterTopology
+from repro.cluster.spec import SOC_REGISTRY
+from repro.core import SoCFlow, SoCFlowOptions
+from repro.data import load_dataset
+from repro.distributed import RunConfig
+from repro.quant import QuantConfig
+
+
+def main() -> None:
+    task = load_dataset("cifar10", scale=0.05, image_size=16, seed=0)
+
+    # A 32-chip slice of an 8gen1-based cluster.
+    topology = ClusterTopology(num_socs=32, soc=SOC_REGISTRY["sd8gen1"])
+    config = RunConfig(
+        task=task,
+        model_name="vit_tiny",
+        width=0.5,
+        batch_size=16,
+        lr=0.01,
+        momentum=0.9,
+        max_epochs=6,
+        topology=topology,
+        sim_samples_per_epoch=50_000,
+        sim_global_batch=64,
+        num_groups=8,
+    )
+
+    for label, quant in [("NPU format: FP16", QuantConfig(float16=True)),
+                         ("NPU format: INT8", QuantConfig())]:
+        result = SoCFlow(SoCFlowOptions(quant=quant)).train(config)
+        print(f"=== ViT-tiny on 32x sd8gen1, {label} ===")
+        print(f"accuracy per epoch : "
+              f"{[f'{a:.2f}' for a in result.accuracy_history]}")
+        print(f"simulated time     : {result.sim_time_hours:.3f} h, "
+              f"energy {result.energy.total_kj:.0f} kJ")
+        alphas = [round(a, 3) for a, _ in result.extra["alpha_history"]]
+        print(f"alpha per epoch    : {alphas}\n")
+
+
+if __name__ == "__main__":
+    main()

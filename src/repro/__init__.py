@@ -1,0 +1,16 @@
+"""SoCFlow reproduction (ASPLOS 2024).
+
+Public entry points:
+
+- :mod:`repro.nn` -- pure-numpy DNN training framework and model zoo.
+- :mod:`repro.quant` -- INT8 fake-quantised training (the NPU path).
+- :mod:`repro.data` -- synthetic stand-ins for the paper's datasets.
+- :mod:`repro.cluster` -- SoC-Cluster hardware / network / energy model.
+- :mod:`repro.comm` -- collective-communication cost models + primitives.
+- :mod:`repro.distributed` -- the six baseline training strategies.
+- :mod:`repro.core` -- SoCFlow itself (grouping, mapping, planning,
+  mixed-precision, scheduler).
+- :mod:`repro.harness` -- per-figure/table experiment runners.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``run``       train one workload with one method and print the summary
+``compare``   run several methods on one workload, print a table
+``list``      show available workloads, methods, presets and models
+``trace``     print the tidal utilisation trace and idle windows
+
+Examples
+--------
+::
+
+    python -m repro.cli list
+    python -m repro.cli run --workload vgg11 --method socflow --socs 32
+    python -m repro.cli compare --workload resnet18 --methods ring,socflow
+    python -m repro.cli trace --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cluster import TidalTrace
+from .core import SoCFlow, SoCFlowOptions
+from .distributed import STRATEGY_REGISTRY, build_strategy
+from .harness import SCALE_PRESETS, WORKLOADS, format_table, make_run_config
+from .nn.models import MODEL_REGISTRY
+
+__all__ = ["main", "build_parser"]
+
+_ALL_METHODS = sorted(STRATEGY_REGISTRY) + ["socflow"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SoCFlow reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="train one workload with one method")
+    _add_run_args(run)
+    run.add_argument("--method", default="socflow", choices=_ALL_METHODS)
+
+    compare = sub.add_parser("compare",
+                             help="run several methods on one workload")
+    _add_run_args(compare)
+    compare.add_argument("--methods", default="ring,fedavg,socflow",
+                         help="comma-separated method names")
+
+    sub.add_parser("list", help="show workloads, methods, presets, models")
+
+    trace = sub.add_parser("trace", help="print the tidal trace")
+    trace.add_argument("--threshold", type=float, default=0.25)
+    trace.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="vgg11",
+                        choices=sorted(WORKLOADS))
+    parser.add_argument("--preset", default="quick",
+                        choices=sorted(SCALE_PRESETS))
+    parser.add_argument("--socs", type=int, default=32)
+    parser.add_argument("--groups", type=int, default=None)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _train(args, method: str):
+    groups = args.groups or max(2, args.socs // 4)
+    config = make_run_config(args.workload, args.preset,
+                             num_socs=args.socs, num_groups=groups,
+                             max_epochs=args.epochs, seed=args.seed)
+    if method == "socflow":
+        return SoCFlow(SoCFlowOptions()).train(config)
+    return build_strategy(method).train(config)
+
+
+def _result_row(method: str, result) -> list:
+    shares = result.phase_shares()
+    return [method, f"{result.best_accuracy:.1%}",
+            round(result.sim_time_hours, 4),
+            round(result.energy.total_kj, 1),
+            f"{shares.get('sync', 0.0):.0%}"]
+
+
+_HEADERS = ["method", "best_acc", "sim_hours", "energy_kJ", "sync_share"]
+
+
+def cmd_run(args, out) -> int:
+    result = _train(args, args.method)
+    print(format_table(_HEADERS, [_result_row(args.method, result)]),
+          file=out)
+    print("accuracy per epoch: "
+          + " ".join(f"{a:.2f}" for a in result.accuracy_history), file=out)
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    unknown = [m for m in methods if m not in _ALL_METHODS]
+    if unknown:
+        print(f"unknown methods: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    rows = [_result_row(m, _train(args, m)) for m in methods]
+    print(format_table(_HEADERS, rows), file=out)
+    return 0
+
+
+def cmd_list(args, out) -> int:
+    del args
+    print("workloads:", ", ".join(sorted(WORKLOADS)), file=out)
+    print("methods:  ", ", ".join(_ALL_METHODS), file=out)
+    print("presets:  ", ", ".join(sorted(SCALE_PRESETS)), file=out)
+    print("models:   ", ", ".join(sorted(MODEL_REGISTRY)), file=out)
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    trace = TidalTrace(seed=args.seed)
+    rows = [[hour, f"{trace.busy_ratio(hour):.0%}"]
+            for hour in range(0, 24, 2)]
+    print(format_table(["hour", "busy"], rows), file=out)
+    window = trace.longest_idle_window(args.threshold)
+    print(f"longest idle window: {window.duration_hours:.1f} h "
+          f"(threshold {args.threshold:.0%})", file=out)
+    return 0
+
+
+_COMMANDS = {"run": cmd_run, "compare": cmd_compare, "list": cmd_list,
+             "trace": cmd_trace}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Multi-server (LAN–WAN) topology extension.
+
+The paper deploys tens of thousands of SoC-Cluster servers across edge
+sites; its related work points at LAN-WAN orchestration (Yuan et al.)
+for aggregating across them.  :class:`EdgeSite` wraps one server with a
+WAN uplink; :class:`WanFabric` prices cross-site collectives the same
+way :class:`~repro.cluster.network.NetworkFabric` prices intra-server
+ones — uplinks are the scarce resource (tens of Mbps, not Gbps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .topology import ClusterTopology
+
+__all__ = ["EdgeSite", "WanFabric"]
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """One SoC-Cluster server behind a WAN uplink."""
+
+    name: str
+    topology: ClusterTopology = field(
+        default_factory=lambda: ClusterTopology(num_socs=60))
+    #: uplink/downlink toward the aggregation point, bits/s
+    wan_bps: float = 100e6
+    #: one-way WAN latency, seconds
+    wan_latency_s: float = 0.02
+
+    def __post_init__(self):
+        if self.wan_bps <= 0:
+            raise ValueError("wan_bps must be positive")
+
+
+class WanFabric:
+    """Cross-site transfer times (star topology to an aggregator)."""
+
+    def __init__(self, sites: list[EdgeSite],
+                 aggregator_bps: float = 1e9):
+        if not sites:
+            raise ValueError("need at least one site")
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise ValueError("site names must be unique")
+        self.sites = list(sites)
+        self.aggregator_bps = aggregator_bps
+
+    def sync_time(self, nbytes: float) -> float:
+        """All sites upload then download one payload via the aggregator.
+
+        Uplinks run in parallel (each site is limited by its own WAN
+        link); the aggregator's link carries every site's payload in
+        each direction.
+        """
+        if nbytes < 0:
+            raise ValueError("payload must be non-negative")
+        slowest_uplink = max(8.0 * nbytes / site.wan_bps
+                             for site in self.sites)
+        aggregator = 8.0 * nbytes * len(self.sites) / self.aggregator_bps
+        one_way = max(slowest_uplink, aggregator) + max(
+            site.wan_latency_s for site in self.sites)
+        return 2.0 * one_way
+
+    def per_site_epoch_ratio(self, site: EdgeSite,
+                             epoch_seconds: float,
+                             nbytes: float,
+                             sync_every_epochs: int = 1) -> float:
+        """Overhead factor the WAN sync adds to a site's epoch time."""
+        if sync_every_epochs < 1:
+            raise ValueError("sync_every_epochs must be >= 1")
+        del site  # uniform in the star model; kept for future per-site cost
+        extra = self.sync_time(nbytes) / sync_every_epochs
+        return (epoch_seconds + extra) / epoch_seconds

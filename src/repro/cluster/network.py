@@ -1,0 +1,212 @@
+"""Link-level network model with shared-NIC contention.
+
+Transfer times come from bandwidth-fair max-load scheduling: a set of
+simultaneous flows is charged, per link and direction, the total bytes
+crossing that link divided by its bandwidth; the slowest link decides
+the step time.  Collectives (ring all-reduce, parameter-server
+push/pull, tree aggregation) are decomposed into phases of simultaneous
+flows, so *concurrent collectives automatically contend* when their
+flows share a PCB NIC — the exact effect SoCFlow's communication
+planning removes.
+
+Calibration against §2.3: a 32-SoC ring all-reduce of ResNet-18
+gradients costs ~0.9 s of transfer plus ~1.3 s of startup (the paper
+measures 2.225 s total with 58% startup); a parameter server hosted on
+a SoC serialises 2·(n-1) payloads through one 1 Gbps link, matching the
+measured 20.6 s for 32 SoCs on VGG-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .topology import ClusterTopology
+
+__all__ = ["Flow", "NetworkFabric"]
+
+#: pseudo SoC id for the control board (parameter-server host option)
+CONTROL_BOARD = -1
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One point-to-point transfer between SoCs (or the control board)."""
+
+    src: int
+    dst: int
+    nbytes: float
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError("flow size must be non-negative")
+
+
+#: collective startup cost per participant: a fixed connection setup
+#: plus a per-gradient-tensor launch overhead.  Calibrated on §2.3's
+#: measurement that preparing/starting a 32-SoC ResNet-18 aggregation
+#: (62 tensors) takes ~1300 ms, i.e. ~40 ms per SoC.
+STARTUP_BASE_S = 0.005
+STARTUP_PER_TENSOR_S = 0.00056
+
+
+class NetworkFabric:
+    """Transfer-time calculator over one :class:`ClusterTopology`.
+
+    ``num_tensors`` sets the per-participant collective startup cost:
+    small models (LeNet: 10 tensors) start collectives far faster than
+    deep ones (ResNet-50: 161).  Defaults to the topology's flat value
+    when no model is attached.
+    """
+
+    def __init__(self, topology: ClusterTopology,
+                 num_tensors: int | None = None):
+        self.topology = topology
+        if num_tensors is None:
+            self.startup_per_soc_s = topology.startup_per_soc_s
+        else:
+            self.startup_per_soc_s = (STARTUP_BASE_S
+                                      + STARTUP_PER_TENSOR_S * num_tensors)
+
+    # ------------------------------------------------------------------
+    # Core primitive
+    # ------------------------------------------------------------------
+    def _links_of(self, flow: Flow) -> list[tuple[str, str]]:
+        """(link, direction) pairs a flow traverses. Links are full duplex."""
+        topo = self.topology
+        links: list[tuple[str, str]] = []
+        if flow.src == CONTROL_BOARD:
+            links.append(("ctrl", "tx"))
+            links.append(("switch", "any"))
+        else:
+            links.append((f"soc:{flow.src}", "tx"))
+        if flow.dst == CONTROL_BOARD:
+            links.append(("switch", "any"))
+            links.append(("ctrl", "rx"))
+        else:
+            links.append((f"soc:{flow.dst}", "rx"))
+        if flow.src != CONTROL_BOARD and flow.dst != CONTROL_BOARD:
+            if not topo.same_pcb(flow.src, flow.dst):
+                links.append((f"pcb:{topo.pcb_of(flow.src)}", "tx"))
+                links.append(("switch", "any"))
+                links.append((f"pcb:{topo.pcb_of(flow.dst)}", "rx"))
+        elif flow.src != CONTROL_BOARD:
+            links.append((f"pcb:{topo.pcb_of(flow.src)}", "tx"))
+        elif flow.dst != CONTROL_BOARD:
+            links.append((f"pcb:{topo.pcb_of(flow.dst)}", "rx"))
+        return links
+
+    def _bandwidth(self, link: str) -> float:
+        topo = self.topology
+        if link.startswith("soc:"):
+            return topo.soc.nic_bps
+        if link.startswith("pcb:"):
+            return topo.pcb_nic_bps
+        if link == "switch":
+            return topo.switch_bps
+        if link == "ctrl":
+            return topo.switch_bps  # dual SFP+ on the control board
+        raise ValueError(f"unknown link {link!r}")
+
+    def transfer_time(self, flows: Iterable[Flow]) -> float:
+        """Seconds for all ``flows`` to complete, running simultaneously."""
+        load: dict[tuple[str, str], float] = {}
+        any_flow = False
+        for flow in flows:
+            if flow.nbytes == 0:
+                continue
+            any_flow = True
+            for key in self._links_of(flow):
+                load[key] = load.get(key, 0.0) + flow.nbytes
+        if not any_flow:
+            return 0.0
+        worst = max(8.0 * nbytes / self._bandwidth(link)
+                    for (link, _), nbytes in load.items())
+        return worst + self.topology.hop_latency_s
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def _startup(self, num_participants: int) -> float:
+        return self.startup_per_soc_s * num_participants
+
+    def ring_allreduce_time(self, socs: Sequence[int], nbytes: float) -> float:
+        """One ring all-reduce over ``socs`` of an ``nbytes`` payload."""
+        return self.concurrent_ring_allreduce_time([list(socs)], nbytes)
+
+    def concurrent_ring_allreduce_time(self, rings: Sequence[Sequence[int]],
+                                       nbytes: float) -> float:
+        """Several ring all-reduces running at the same time.
+
+        Every ring executes its 2(n-1) scatter-reduce/all-gather phases in
+        lock-step; phases of different rings overlap and contend for
+        shared links.  Returns the makespan.
+        """
+        rings = [list(r) for r in rings if len(r) >= 2]
+        if not rings:
+            return self._startup(1)
+        phases = [2 * (len(ring) - 1) for ring in rings]
+        total = max(self._startup(len(ring)) for ring in rings)
+        for step in range(max(phases)):
+            flows = [
+                Flow(ring[i], ring[(i + 1) % len(ring)], nbytes / len(ring))
+                for ring, ring_phases in zip(rings, phases)
+                if step < ring_phases
+                for i in range(len(ring))
+            ]
+            total += self.transfer_time(flows)
+        return total
+
+    def parameter_server_time(self, socs: Sequence[int], nbytes: float,
+                              server: int | None = None) -> float:
+        """Push-then-pull through a central server.
+
+        ``server=None`` hosts the server on the first SoC (the deployment
+        the paper measures: all traffic serialises through one 1 Gbps SoC
+        link); pass :data:`CONTROL_BOARD` to host it off-board.
+        """
+        socs = list(socs)
+        if server is None:
+            server = socs[0]
+        workers = [s for s in socs if s != server]
+        if not workers:
+            return self._startup(1)
+        push = self.transfer_time([Flow(w, server, nbytes) for w in workers])
+        pull = self.transfer_time([Flow(server, w, nbytes) for w in workers])
+        return self._startup(len(socs)) + push + pull
+
+    def tree_aggregate_time(self, groups: Sequence[Sequence[int]],
+                            nbytes: float,
+                            root: int | None = None) -> float:
+        """Two-level tree: members -> group leader, leaders -> root.
+
+        This is the T-FedAvg aggregation pattern (leaders are the first
+        SoC of each group).  The reverse broadcast uses the same routes.
+        """
+        groups = [list(g) for g in groups if g]
+        if not groups:
+            return 0.0
+        leaders = [group[0] for group in groups]
+        if root is None:
+            root = leaders[0]
+        up_local = self.transfer_time(
+            [Flow(member, group[0], nbytes)
+             for group in groups for member in group[1:]])
+        up_root = self.transfer_time(
+            [Flow(leader, root, nbytes) for leader in leaders
+             if leader != root])
+        down_root = self.transfer_time(
+            [Flow(root, leader, nbytes) for leader in leaders
+             if leader != root])
+        down_local = self.transfer_time(
+            [Flow(group[0], member, nbytes)
+             for group in groups for member in group[1:]])
+        participants = sum(len(g) for g in groups)
+        return (self._startup(participants)
+                + up_local + up_root + down_root + down_local)
+
+    def broadcast_time(self, src: int, dsts: Sequence[int],
+                       nbytes: float) -> float:
+        """One-to-many transfer (model/data dispatch before training)."""
+        return self.transfer_time([Flow(src, d, nbytes) for d in dsts
+                                   if d != src])

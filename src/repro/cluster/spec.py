@@ -1,0 +1,159 @@
+"""Hardware specifications and calibrated compute profiles.
+
+Per-sample training latencies are calibrated against the paper's
+measurements (§2.3, Figure 4a): training VGG-11 on CIFAR-10 takes 29.1 h
+on one Snapdragon 865 CPU and ~7.5–10 h on its NPU; ResNet-18 takes
+233 h / 36 h.  Latencies for models the paper does not time directly are
+extrapolated by FLOP count using the same throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProcessorSpec", "SoCSpec", "GpuSpec", "ModelProfile",
+           "SOC_REGISTRY", "GPU_REGISTRY", "MODEL_PROFILES", "model_profile"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One on-chip processor (mobile CPU or NPU)."""
+
+    name: str
+    #: sustained training throughput, FLOP/s (fwd+bwd accounted by caller)
+    flops: float
+    #: power when busy training, watts
+    busy_watts: float
+    #: native training precision
+    precision: str
+
+
+@dataclass(frozen=True)
+class SoCSpec:
+    """A mobile system-on-chip (Figure 2d)."""
+
+    name: str
+    cpu: ProcessorSpec
+    npu: ProcessorSpec
+    dram_gb: int
+    idle_watts: float
+    #: NIC bandwidth from the SoC to its PCB, bits/s
+    nic_bps: float
+    #: effective DRAM bandwidth for optimizer updates, bytes/s
+    mem_bps: float = 12e9
+
+    def processor(self, which: str) -> ProcessorSpec:
+        if which == "cpu":
+            return self.cpu
+        if which == "npu":
+            return self.npu
+        raise ValueError(f"unknown processor {which!r}")
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A datacenter GPU, for the Figure 11 comparison."""
+
+    name: str
+    flops: float
+    busy_watts: float
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Per-model compute/communication footprint at full width.
+
+    ``flops_per_sample`` counts one forward+backward pass; gradient and
+    weight payloads are ``4 * params`` bytes in FP32 and ``params`` bytes
+    in INT8.
+    """
+
+    name: str
+    params: int
+    flops_per_sample: float
+    #: typical per-sample activation size at a pipeline stage boundary
+    act_bytes_per_sample: float = 0.0
+    #: gradient tensors synchronised per step (drives collective startup
+    #: cost: each tensor pays a per-hop launch overhead)
+    num_tensors: int = 30
+    #: measured per-sample training latencies on the Snapdragon 865
+    #: (derived from Figure 4a); None -> extrapolate from FLOPs
+    t_cpu_sample_s: float | None = None
+    t_npu_sample_s: float | None = None
+
+    def payload_bytes(self, precision: str = "fp32") -> int:
+        bytes_per = {"fp32": 4, "fp16": 2, "int8": 1}[precision]
+        return self.params * bytes_per
+
+
+# ---------------------------------------------------------------------------
+# Calibration.
+#
+# Figure 4a measures convergence training time on one Snapdragon 865:
+#   VGG-11:    CPU-FP32 29.1 h, NPU-INT8 ~7.5 h
+#   ResNet-18: CPU-FP32 233 h,  NPU-INT8 ~36 h
+# At a ~15-epoch convergence budget on CIFAR-10 (750k sample-steps) that
+# back-solves to ~140 ms/sample (VGG-11) and ~1.1 s/sample (ResNet-18) on
+# the CPU — i.e. an effective ~6 GFLOP/s sustained mobile-CPU training
+# throughput, with the NPU ~4x faster at INT8.  These measured latencies
+# are pinned per model below; unmeasured models use the throughputs.
+# ---------------------------------------------------------------------------
+
+_SD865_CPU = ProcessorSpec("kryo585", flops=5.9e9, busy_watts=3.5,
+                           precision="fp32")
+_SD865_NPU = ProcessorSpec("hexagon698", flops=23e9, busy_watts=1.6,
+                           precision="int8")
+_SD8GEN1_CPU = ProcessorSpec("kryo780", flops=8.9e9, busy_watts=4.5,
+                             precision="fp32")
+_SD8GEN1_NPU = ProcessorSpec("hexagon8gen1", flops=92e9, busy_watts=2.2,
+                             precision="int8")
+
+SOC_REGISTRY: dict[str, SoCSpec] = {
+    "sd865": SoCSpec("sd865", _SD865_CPU, _SD865_NPU, dram_gb=12,
+                     idle_watts=0.6, nic_bps=1e9),
+    "sd8gen1": SoCSpec("sd8gen1", _SD8GEN1_CPU, _SD8GEN1_NPU, dram_gb=12,
+                       idle_watts=0.9, nic_bps=1e9),
+}
+
+# Peak FP32 throughput; CIFAR-scale models only sustain a small fraction
+# of it (see repro.harness.gpu.GPU_EFFICIENCY), which is the paper's §4.4
+# point (2).
+GPU_REGISTRY: dict[str, GpuSpec] = {
+    "v100": GpuSpec("v100", flops=15.7e12, busy_watts=300.0),
+    "a100": GpuSpec("a100", flops=19.5e12, busy_watts=400.0),
+}
+
+# fwd+bwd FLOPs per sample at the native input size (fwd x3), and full-width
+# parameter counts matching this repo's model zoo at width=1.0.
+MODEL_PROFILES: dict[str, ModelProfile] = {
+    "lenet5": ModelProfile("lenet5", params=61_706, flops_per_sample=1.3e7,
+                           act_bytes_per_sample=2.0e4, num_tensors=10),
+    "vgg11": ModelProfile("vgg11", params=9_228_362,
+                          flops_per_sample=8.2e8,
+                          act_bytes_per_sample=2.6e5, num_tensors=26,
+                          t_cpu_sample_s=0.140, t_npu_sample_s=0.036),
+    "resnet18": ModelProfile("resnet18", params=11_173_962,
+                             flops_per_sample=1.7e9,
+                             act_bytes_per_sample=2.6e5, num_tensors=62,
+                             t_cpu_sample_s=1.12, t_npu_sample_s=0.173),
+    "resnet50": ModelProfile("resnet50", params=23_520_842,
+                             flops_per_sample=3.9e9,
+                             act_bytes_per_sample=1.0e6, num_tensors=161),
+    "mobilenet_v1": ModelProfile("mobilenet_v1", params=3_217_226,
+                                 flops_per_sample=1.4e8,
+                                 act_bytes_per_sample=2.6e5,
+                                 num_tensors=83),
+    # §5 future-work model: a ViT-tiny-class transformer
+    "vit_tiny": ModelProfile("vit_tiny", params=545_930,
+                             flops_per_sample=2.0e8,
+                             act_bytes_per_sample=3.3e4,
+                             num_tensors=55),
+}
+
+
+def model_profile(name: str) -> ModelProfile:
+    try:
+        return MODEL_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_PROFILES))
+        raise ValueError(f"unknown model {name!r}; known: {known}") from None

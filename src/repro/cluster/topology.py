@@ -1,0 +1,70 @@
+"""Physical layout of the SoC-Cluster (Figure 2a/2c).
+
+SoCs are numbered 0..M-1 and grouped into PCBs of ``socs_per_pcb``
+(5 on the commercial server).  Every PCB shares one NIC toward the
+central switch; all cross-PCB traffic serialises through the two PCB
+NICs involved — the root cause of the paper's Observation #2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .spec import SOC_REGISTRY, SoCSpec
+
+__all__ = ["ClusterTopology"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Static shape of one SoC-Cluster server."""
+
+    num_socs: int = 60
+    socs_per_pcb: int = 5
+    soc: SoCSpec = field(default_factory=lambda: SOC_REGISTRY["sd865"])
+    #: shared PCB NIC bandwidth, bits/s (1 Gbps on the real server)
+    pcb_nic_bps: float = 1e9
+    #: central switch backplane, bits/s (dual SFP+ = 20 Gbps)
+    switch_bps: float = 20e9
+    #: one-way per-message latency, seconds
+    hop_latency_s: float = 0.5e-3
+    #: per-participant collective startup cost (§2.3: preparing/starting a
+    #: 32-SoC aggregation took 1300 ms, i.e. ~40 ms per SoC)
+    startup_per_soc_s: float = 0.040
+
+    def __post_init__(self):
+        if self.num_socs <= 0 or self.socs_per_pcb <= 0:
+            raise ValueError("num_socs and socs_per_pcb must be positive")
+
+    @property
+    def num_pcbs(self) -> int:
+        return -(-self.num_socs // self.socs_per_pcb)
+
+    def pcb_of(self, soc: int) -> int:
+        if not 0 <= soc < self.num_socs:
+            raise ValueError(f"SoC id {soc} out of range [0, {self.num_socs})")
+        return soc // self.socs_per_pcb
+
+    def socs_on_pcb(self, pcb: int) -> list[int]:
+        if not 0 <= pcb < self.num_pcbs:
+            raise ValueError(f"PCB id {pcb} out of range [0, {self.num_pcbs})")
+        start = pcb * self.socs_per_pcb
+        return list(range(start, min(start + self.socs_per_pcb,
+                                     self.num_socs)))
+
+    def same_pcb(self, a: int, b: int) -> bool:
+        return self.pcb_of(a) == self.pcb_of(b)
+
+    def crossings(self, socs: list[int]) -> int:
+        """Number of PCBs a set of SoCs touches beyond the first."""
+        return len({self.pcb_of(s) for s in socs}) - 1
+
+    def restricted(self, num_socs: int) -> "ClusterTopology":
+        """The same server using only the first ``num_socs`` chips."""
+        if num_socs > self.num_socs:
+            raise ValueError(f"server only has {self.num_socs} SoCs")
+        return ClusterTopology(
+            num_socs=num_socs, socs_per_pcb=self.socs_per_pcb, soc=self.soc,
+            pcb_nic_bps=self.pcb_nic_bps, switch_bps=self.switch_bps,
+            hop_latency_s=self.hop_latency_s,
+            startup_per_soc_s=self.startup_per_soc_s)

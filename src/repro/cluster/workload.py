@@ -1,0 +1,137 @@
+"""User-workload (cloud gaming) session simulation — the Figure 1 story.
+
+The SoC-Cluster's day job is serving user-triggered sessions (cloud
+gaming, live streaming).  :class:`SessionSimulator` generates session
+arrivals from a non-homogeneous Poisson process whose rate follows the
+tidal trace, assigns sessions to SoCs, and exposes the resulting busy
+timeline.  :func:`derive_training_events` converts a planned overnight
+training window into the preemption events SoCFlow must absorb when
+users show up early — closing the loop between the trace model, the
+scheduler and the training engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.scheduler import PreemptionEvent
+from .topology import ClusterTopology
+from .trace import TidalTrace
+
+__all__ = ["Session", "SessionSimulator", "derive_training_events"]
+
+
+@dataclass(frozen=True)
+class Session:
+    """One user session pinned to one SoC."""
+
+    soc: int
+    start_hour: float
+    duration_hours: float
+
+    @property
+    def end_hour(self) -> float:
+        return self.start_hour + self.duration_hours
+
+
+class SessionSimulator:
+    """Poisson session arrivals whose rate follows the tidal curve.
+
+    Parameters
+    ----------
+    peak_sessions_per_hour:
+        Arrival rate at the busiest moment; scaled down by the trace's
+        busy ratio elsewhere.
+    mean_session_hours:
+        Exponential session-length mean (cloud-gaming sessions run tens
+        of minutes).
+    """
+
+    def __init__(self, topology: ClusterTopology,
+                 trace: TidalTrace | None = None,
+                 peak_sessions_per_hour: float = 120.0,
+                 mean_session_hours: float = 0.75,
+                 seed: int = 0):
+        self.topology = topology
+        self.trace = trace or TidalTrace(seed=seed)
+        self.peak_rate = peak_sessions_per_hour
+        self.mean_session_hours = mean_session_hours
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def simulate_day(self, resolution_hours: float = 0.1) -> list[Session]:
+        """Generate one day of sessions via thinning.
+
+        Sessions land on the lowest-numbered free SoC; arrivals beyond
+        capacity are dropped (the real platform load-balances to other
+        servers).
+        """
+        sessions: list[Session] = []
+        free_at = np.zeros(self.topology.num_socs)
+        steps = int(round(24.0 / resolution_hours))
+        peak_busy = self.trace.peak_busy
+        for i in range(steps):
+            hour = i * resolution_hours
+            rate = (self.peak_rate * self.trace.busy_ratio(hour)
+                    / peak_busy)
+            arrivals = self._rng.poisson(rate * resolution_hours)
+            for _ in range(arrivals):
+                soc = int(np.argmin(free_at))
+                if free_at[soc] > hour:
+                    continue  # saturated: drop
+                duration = float(self._rng.exponential(
+                    self.mean_session_hours))
+                sessions.append(Session(soc, hour, duration))
+                free_at[soc] = hour + duration
+        return sessions
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def busy_socs_at(sessions: list[Session], hour: float) -> set[int]:
+        return {s.soc for s in sessions
+                if s.start_hour <= hour < s.end_hour}
+
+    def busy_curve(self, sessions: list[Session],
+                   resolution_hours: float = 0.25) -> tuple[np.ndarray,
+                                                            np.ndarray]:
+        """(hours, busy fraction) — the simulated counterpart of Fig 3."""
+        hours = np.arange(0.0, 24.0, resolution_hours)
+        busy = np.array([
+            len(self.busy_socs_at(sessions, h)) / self.topology.num_socs
+            for h in hours])
+        return hours, busy
+
+
+def derive_training_events(sessions: list[Session],
+                           window_start_hour: float,
+                           epoch_hours: float,
+                           max_epochs: int,
+                           socs_per_group: int,
+                           idle_socs: int) -> list[PreemptionEvent]:
+    """Plan preemptions for a training job inside an idle window.
+
+    The job starts at ``window_start_hour`` with ``idle_socs`` chips.
+    Whenever new sessions claim enough previously-idle SoCs to exhaust
+    a logical group's worth of capacity, one group is preempted at the
+    next epoch boundary.
+    """
+    if socs_per_group <= 0 or epoch_hours <= 0:
+        raise ValueError("socs_per_group and epoch_hours must be positive")
+    events: list[PreemptionEvent] = []
+    baseline = len(SessionSimulator.busy_socs_at(sessions,
+                                                 window_start_hour))
+    claimed_groups = 0
+    for epoch in range(max_epochs):
+        hour = (window_start_hour + (epoch + 1) * epoch_hours) % 24.0
+        busy_now = len(SessionSimulator.busy_socs_at(sessions, hour))
+        surge = max(0, busy_now - baseline)
+        groups_needed = min(surge // socs_per_group,
+                            idle_socs // socs_per_group - claimed_groups)
+        if groups_needed > claimed_groups:
+            events.append(PreemptionEvent(
+                epoch=epoch + 1,
+                num_groups=groups_needed - claimed_groups))
+            claimed_groups = groups_needed
+    return events

@@ -1,0 +1,56 @@
+"""State-dict arithmetic shared by all aggregation schemes."""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+StateDict = "OrderedDict[str, np.ndarray]"
+
+__all__ = ["average_states", "weighted_average_states", "state_l2_distance",
+           "zeros_like_state"]
+
+
+def average_states(states: Sequence[dict]) -> "OrderedDict[str, np.ndarray]":
+    """Uniform element-wise average of model state dicts."""
+    if not states:
+        raise ValueError("need at least one state")
+    return weighted_average_states(states, [1.0] * len(states))
+
+
+def weighted_average_states(states: Sequence[dict],
+                            weights: Sequence[float]
+                            ) -> "OrderedDict[str, np.ndarray]":
+    """Weighted element-wise average (weights are normalised)."""
+    if len(states) != len(weights):
+        raise ValueError("one weight per state required")
+    total = float(sum(weights))
+    if total <= 0 or not math.isfinite(total):
+        raise ValueError("weights must sum to a positive finite value")
+    keys = list(states[0].keys())
+    for state in states[1:]:
+        if list(state.keys()) != keys:
+            raise ValueError("state dicts have mismatched keys")
+    out: OrderedDict[str, np.ndarray] = OrderedDict()
+    for key in keys:
+        acc = np.zeros_like(np.asarray(states[0][key], dtype=np.float64))
+        for state, weight in zip(states, weights):
+            acc += (weight / total) * state[key]
+        out[key] = acc.astype(states[0][key].dtype)
+    return out
+
+
+def state_l2_distance(a: dict, b: dict) -> float:
+    """L2 distance between two state dicts (divergence diagnostics)."""
+    total = 0.0
+    for key in a:
+        diff = np.asarray(a[key], dtype=np.float64) - b[key]
+        total += float(np.sum(diff * diff))
+    return math.sqrt(total)
+
+
+def zeros_like_state(state: dict) -> "OrderedDict[str, np.ndarray]":
+    return OrderedDict((k, np.zeros_like(v)) for k, v in state.items())

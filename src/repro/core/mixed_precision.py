@@ -1,0 +1,93 @@
+"""Per-group mixed-precision execution (§3.2).
+
+One :class:`GroupMixedTrainer` embodies a logical group: because the
+group synchronises every batch, its SoCs' CPU sub-batches are
+mathematically one FP32 SGD step and its NPU sub-batches one INT8 step
+(DESIGN.md decision 2).  Each batch is split by the controller's
+``max(e^-alpha, 1-beta)`` rule, both paths step, and the weights merge
+on-chip via Eq. 5 before the (instantaneous-in-math) intra-group ring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..distributed.base import RunConfig, fp32_train_step, make_model
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor, no_grad
+from ..quant.int8 import QuantConfig
+from ..quant.mixed import MixedPrecisionController, merge_weights
+from ..quant.trainer import Int8Trainer
+
+__all__ = ["GroupMixedTrainer"]
+
+
+class GroupMixedTrainer:
+    """FP32(CPU) + INT8(NPU) replica pair for one logical group."""
+
+    def __init__(self, config: RunConfig,
+                 controller: MixedPrecisionController,
+                 quant_config: QuantConfig, seed_offset: int = 0,
+                 mixed: bool = True):
+        self.config = config
+        self.controller = controller
+        self.mixed = mixed
+        self.fp32 = make_model(config, seed_offset=seed_offset)
+        self.fp32_opt = SGD(self.fp32.parameters(), lr=config.lr,
+                            momentum=config.momentum,
+                            weight_decay=config.weight_decay)
+        self.int8: Int8Trainer | None = None
+        if mixed:
+            int8_model = make_model(config, seed_offset=seed_offset)
+            int8_model.load_state_dict(self.fp32.state_dict())
+            self.int8 = Int8Trainer(int8_model, lr=config.lr,
+                                    config=quant_config,
+                                    momentum=config.momentum,
+                                    weight_decay=config.weight_decay,
+                                    seed=config.seed + seed_offset)
+
+    # ------------------------------------------------------------------
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> None:
+        """One group step: split, dual step, Eq. 5 merge."""
+        if not self.mixed or self.int8 is None:
+            fp32_train_step(self.fp32, self.fp32_opt, x, y)
+            return
+        cpu_n, npu_n = self.controller.split_batch(len(x))
+        if cpu_n:
+            fp32_train_step(self.fp32, self.fp32_opt, x[:cpu_n], y[:cpu_n])
+        if npu_n:
+            self.int8.train_step(x[cpu_n:], y[cpu_n:])
+        merged = merge_weights(self.fp32.state_dict(),
+                               self.int8.model.state_dict(),
+                               self.controller.alpha)
+        self._load_both(merged)
+
+    def _load_both(self, state: "OrderedDict[str, np.ndarray]") -> None:
+        self.fp32.load_state_dict(state)
+        if self.int8 is not None:
+            self.int8.model.load_state_dict(state)
+
+    # ------------------------------------------------------------------
+    def update_alpha(self, val_x: np.ndarray) -> float:
+        """Profile FP32/INT8 logits on the validation set (per epoch)."""
+        if not self.mixed or self.int8 is None:
+            return self.controller.alpha
+        self.fp32.eval()
+        with no_grad():
+            logits_fp32 = self.fp32(Tensor(val_x)).data
+        logits_int8 = self.int8.predict_logits(val_x)
+        return self.controller.update_alpha(logits_fp32, logits_int8)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        return self.fp32.state_dict()
+
+    def load_state(self, state: "OrderedDict[str, np.ndarray]") -> None:
+        self._load_both(state)
+
+    def set_lr(self, lr: float) -> None:
+        self.fp32_opt.lr = lr
+        if self.int8 is not None:
+            self.int8.lr = lr

@@ -1,0 +1,110 @@
+"""Communication-group division and the pipelined sync schedule (§3.1).
+
+Logical groups whose intra-group Ring-AllReduce crosses a PCB boundary
+contend for the shared PCB NICs.  SoCFlow puts mutually-contending
+groups into different *communication groups* (CGs) and runs the CGs'
+synchronisations one after another, interleaved with compute (Figure 7),
+so no two contending rings are ever on the wire together.
+
+CG division is graph colouring on the conflict graph; Theorem 2 of the
+integrity-greedy mapping bounds every vertex degree by 2, so the graph
+is a union of paths/cycles and two colours suffice via DFS (the paper's
+"minimum bipartite graph colouring").  A greedy fallback covers
+non-integrity mappings, whose conflict graphs can be arbitrary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..cluster.network import NetworkFabric
+from .mapping import MappingResult
+
+__all__ = ["build_conflict_graph", "divide_into_cgs", "CommunicationPlan"]
+
+
+def build_conflict_graph(mapping: MappingResult) -> nx.Graph:
+    """Vertices = logical groups; edge = the two groups share a PCB NIC."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(mapping.num_groups))
+    split = sorted(mapping.split_groups)
+    pcbs_of = {g: {mapping.topology.pcb_of(s) for s in mapping.groups[g]}
+               for g in split}
+    for i, g in enumerate(split):
+        for h in split[i + 1:]:
+            if pcbs_of[g] & pcbs_of[h]:
+                graph.add_edge(g, h)
+    return graph
+
+
+def divide_into_cgs(mapping: MappingResult) -> list[list[int]]:
+    """Colour the conflict graph; each colour class is one CG.
+
+    Non-split groups never contend, so they join the first CG.  With an
+    integrity-greedy mapping the result has at most two CGs.
+    """
+    graph = build_conflict_graph(mapping)
+    colors: dict[int, int] = {}
+    # DFS 2-colouring on each component; greedy fallback on odd cycles.
+    for component in nx.connected_components(graph):
+        nodes = sorted(component)
+        try:
+            two_color = nx.algorithms.bipartite.color(graph.subgraph(nodes))
+            colors.update(two_color)
+        except nx.NetworkXError:
+            greedy = nx.coloring.greedy_color(graph.subgraph(nodes),
+                                              strategy="DSATUR")
+            colors.update(greedy)
+    num_colors = max(colors.values(), default=0) + 1
+    cgs: list[list[int]] = [[] for _ in range(num_colors)]
+    for group in range(mapping.num_groups):
+        cgs[colors.get(group, 0)].append(group)
+    return [cg for cg in cgs if cg]
+
+
+@dataclass
+class CommunicationPlan:
+    """A full schedule: which rings sync together, and in what order."""
+
+    mapping: MappingResult
+    cgs: list[list[int]]
+
+    @classmethod
+    def from_mapping(cls, mapping: MappingResult) -> "CommunicationPlan":
+        return cls(mapping, divide_into_cgs(mapping))
+
+    @property
+    def num_cgs(self) -> int:
+        return len(self.cgs)
+
+    def planned_sync_seconds(self, fabric: NetworkFabric,
+                             nbytes: float) -> list[float]:
+        """Per-CG ring all-reduce times, run in sequence (no contention)."""
+        times: list[float] = []
+        for cg in self.cgs:
+            rings = [self.mapping.groups[g] for g in cg]
+            times.append(fabric.concurrent_ring_allreduce_time(rings, nbytes))
+        return times
+
+    def unplanned_sync_seconds(self, fabric: NetworkFabric,
+                               nbytes: float) -> float:
+        """All rings at once (what happens without planning)."""
+        return fabric.concurrent_ring_allreduce_time(self.mapping.groups,
+                                                     nbytes)
+
+    def step_sync_seconds(self, fabric: NetworkFabric, nbytes: float,
+                          compute_seconds: float,
+                          planned: bool = True) -> float:
+        """Effective per-step sync cost after pipelining (Figure 7).
+
+        With planning, CG k's communication hides under CG k+1's compute;
+        the schedule's residual cost is whatever the compute window
+        cannot absorb.  Without planning, all rings contend and only the
+        generic overlap fraction applies (handled by the caller).
+        """
+        if not planned:
+            return self.unplanned_sync_seconds(fabric, nbytes)
+        total = sum(self.planned_sync_seconds(fabric, nbytes))
+        return max(0.0, total - compute_seconds)

@@ -1,0 +1,103 @@
+"""Global scheduler: the control-board software (§3, Figure 5a).
+
+Responsibilities reproduced here:
+
+- *dispatch*: model/data broadcast cost before training starts;
+- *checkpointing*: models checkpoint to UFS so user workloads can
+  preempt training at any time without losing progress;
+- *preemption*: a sudden user-load event terminates whole logical
+  groups (the flexible group structure means only those groups stop);
+- *underclocking-aware rebalancing* (§4.1 optimisation 2): when DVFS
+  slows a SoC, its group's batch shares are rebalanced so the slow chip
+  stops being a straggler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.network import NetworkFabric
+from ..cluster.topology import ClusterTopology
+
+__all__ = ["PreemptionEvent", "UnderclockEvent", "GlobalScheduler"]
+
+#: sustained UFS 3.1 sequential write bandwidth, bytes/s
+_UFS_WRITE_BPS = 500e6
+
+
+@dataclass(frozen=True)
+class PreemptionEvent:
+    """User load returns at the start of ``epoch``: drop ``num_groups``."""
+
+    epoch: int
+    num_groups: int = 1
+
+
+@dataclass(frozen=True)
+class UnderclockEvent:
+    """DVFS slows ``soc`` to ``factor`` of nominal speed from ``epoch``."""
+
+    epoch: int
+    soc: int
+    factor: float
+
+    def __post_init__(self):
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+
+
+@dataclass
+class GlobalScheduler:
+    """Event bookkeeping + cost formulas for the control-board logic."""
+
+    topology: ClusterTopology
+    rebalance: bool = True
+    events: list = field(default_factory=list)
+    _clock_factors: dict[int, float] = field(default_factory=dict)
+
+    # -- dispatch -------------------------------------------------------
+    def dispatch_seconds(self, fabric: NetworkFabric, model_bytes: float,
+                         data_bytes_per_soc: float) -> float:
+        """Broadcast the model and per-SoC data shards from the control
+        board at the start of a job."""
+        from ..cluster.network import CONTROL_BOARD
+        socs = list(range(self.topology.num_socs))
+        per_soc = model_bytes + data_bytes_per_soc
+        return fabric.transfer_time(
+            [_flow(CONTROL_BOARD, s, per_soc) for s in socs])
+
+    # -- checkpoint / preemption ----------------------------------------
+    @staticmethod
+    def checkpoint_seconds(model_bytes: float) -> float:
+        """Write one model checkpoint to the SoC's UFS storage."""
+        return model_bytes / _UFS_WRITE_BPS
+
+    def preemptions_at(self, epoch: int) -> list[PreemptionEvent]:
+        return [e for e in self.events
+                if isinstance(e, PreemptionEvent) and e.epoch == epoch]
+
+    # -- underclocking ----------------------------------------------------
+    def apply_underclocks(self, epoch: int) -> None:
+        for event in self.events:
+            if isinstance(event, UnderclockEvent) and event.epoch == epoch:
+                self._clock_factors[event.soc] = event.factor
+
+    def group_slowdown(self, group_socs: list[int]) -> float:
+        """Wall-time multiplier for one group's compute.
+
+        Without rebalancing the slowest member is a straggler
+        (multiplier ``1/min_factor``); with rebalancing work moves to
+        faster members and the multiplier is the harmonic-mean ratio
+        ``G / sum(factors)``.
+        """
+        factors = [self._clock_factors.get(s, 1.0) for s in group_socs]
+        if all(f == 1.0 for f in factors):
+            return 1.0
+        if self.rebalance:
+            return len(factors) / sum(factors)
+        return 1.0 / min(factors)
+
+
+def _flow(src: int, dst: int, nbytes: float):
+    from ..cluster.network import Flow
+    return Flow(src, dst, nbytes)

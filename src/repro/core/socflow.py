@@ -1,0 +1,368 @@
+"""The SoCFlow training strategy — everything of §3 end to end.
+
+Per batch: every logical group splits its sub-batch across CPU (FP32)
+and NPU (INT8) by the alpha/beta rule, steps both, merges on-chip
+(Eq. 5), and ring-synchronises within the group (the planned CG
+schedule keeps contending rings off the wire simultaneously, hiding the
+cost under compute).  Per epoch: the group leaders run one
+Ring-AllReduce over the group weights (delayed aggregation), data is
+reshuffled across groups, and alpha is re-profiled on the validation
+set.
+
+Every sub-technique is individually switchable for the Figure 13
+ablation: ``grouping`` (vs one flat ring), ``mapping``
+(integrity-greedy vs naive), ``planning`` (CG schedule vs concurrent),
+``mixed`` (CPU+NPU vs CPU only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..comm.primitives import average_states
+from ..distributed.base import (CostModel, RunConfig, Strategy,
+                                StrategyResult, evaluate_accuracy)
+from ..quant.int8 import QuantConfig
+from ..quant.mixed import MixedPrecisionController
+from .mapping import MappingResult, integrity_greedy_mapping, naive_mapping
+from .mixed_precision import GroupMixedTrainer
+from .planning import CommunicationPlan
+from .scheduler import GlobalScheduler, PreemptionEvent
+
+__all__ = ["SoCFlowOptions", "SoCFlow", "build_socflow"]
+
+
+@dataclass(frozen=True)
+class SoCFlowOptions:
+    """Feature switches (all on = the full system; see Figure 13)."""
+
+    grouping: bool = True
+    mapping: str = "integrity"          # "integrity" | "naive"
+    planning: bool = True
+    mixed: bool = True
+    #: None = dynamic alpha (profiled per epoch); a float pins it
+    #: (Figure 14's "Ours-Half" uses fixed alpha = 0.7)
+    fixed_alpha: float | None = None
+    #: "mixed" | "fp32" | "int8" — the Figure 14 precision modes
+    precision: str = "mixed"
+    quant: QuantConfig = field(default_factory=QuantConfig)
+    rebalance: bool = True
+    events: tuple = ()
+    #: write a resumable checkpoint here after every epoch
+    checkpoint_path: str | None = None
+    #: resume from ``checkpoint_path`` when it exists
+    resume: bool = False
+    #: run the §3.1 warm-up heuristic: profile first-epoch accuracy at
+    #: doubling group counts and pick the largest that holds up
+    auto_group_size: bool = False
+    #: accuracy-drop threshold for the heuristic (paper: ~15%)
+    group_size_drop_threshold: float = 0.15
+
+    def __post_init__(self):
+        if self.mapping not in ("integrity", "naive"):
+            raise ValueError("mapping must be 'integrity' or 'naive'")
+        if self.precision not in ("mixed", "fp32", "int8"):
+            raise ValueError("precision must be mixed/fp32/int8")
+
+
+class SoCFlow(Strategy):
+    """Group-wise parallelism + delayed aggregation + mixed precision."""
+
+    name = "socflow"
+
+    def __init__(self, options: SoCFlowOptions | None = None):
+        self.options = options or SoCFlowOptions()
+
+    # ------------------------------------------------------------------
+    # Topology decisions
+    # ------------------------------------------------------------------
+    def _build_mapping(self, config: RunConfig) -> MappingResult:
+        num_groups = config.num_groups if self.options.grouping else 1
+        num_groups = max(1, min(num_groups, config.topology.num_socs))
+        if self.options.mapping == "integrity":
+            return integrity_greedy_mapping(config.topology, num_groups)
+        return naive_mapping(config.topology, num_groups)
+
+    # ------------------------------------------------------------------
+    def select_group_size(self, config: RunConfig) -> tuple[int, dict]:
+        """The warm-up stage: one-epoch profiles at doubling group counts.
+
+        Returns the selected count and the accuracy profile (for
+        reporting).  Uses pre-merge group-local first-epoch accuracy,
+        which mirrors convergence accuracy (Figure 6).
+        """
+        from .grouping import GroupSizeSelector
+        candidates = [1]
+        while candidates[-1] * 2 <= config.topology.num_socs // 2:
+            candidates.append(candidates[-1] * 2)
+        profile: dict[int, float] = {}
+        probe_options = replace(self.options, auto_group_size=False)
+        for n in candidates:
+            probe_config = replace(config, max_epochs=1, num_groups=n)
+            result = SoCFlow(probe_options).train(probe_config)
+            profile[n] = result.extra["first_epoch_group_accuracy"]
+        selector = GroupSizeSelector(self.options.group_size_drop_threshold)
+        return selector.select(profile), profile
+
+    def train(self, config: RunConfig) -> StrategyResult:
+        options = self.options
+        group_size_profile: dict | None = None
+        if options.auto_group_size and options.grouping:
+            chosen, group_size_profile = self.select_group_size(config)
+            config = replace(config, num_groups=chosen)
+        cost = CostModel(config)
+        mapping = self._build_mapping(config)
+        plan = CommunicationPlan.from_mapping(mapping)
+        scheduler = GlobalScheduler(config.topology,
+                                    rebalance=options.rebalance,
+                                    events=list(options.events))
+
+        mixed = options.mixed and options.precision == "mixed"
+        controller = MixedPrecisionController(cost.t_cpu_sample,
+                                              cost.t_npu_sample)
+        if options.fixed_alpha is not None:
+            controller.alpha = options.fixed_alpha
+
+        groups = self._build_groups(config, mapping, controller, mixed)
+        val_x = config.task.x_test[:128]
+        rng = np.random.default_rng(config.seed)
+
+        model_bytes = cost.grad_bytes
+        dispatch_s = scheduler.dispatch_seconds(
+            cost.fabric, model_bytes,
+            data_bytes_per_soc=config.sim_samples_per_epoch
+            * np.prod(config.task.input_shape) / config.topology.num_socs)
+        cost.charge_epoch_sync(dispatch_s, config.topology.num_socs)
+
+        history: list[float] = []
+        state: dict = {}
+        preempted = 0
+        start_epoch = 0
+        if options.resume and options.checkpoint_path is not None:
+            start_epoch = self._try_resume(options.checkpoint_path, groups,
+                                           controller, history, config)
+        for epoch in range(start_epoch, config.max_epochs):
+            scheduler.apply_underclocks(epoch)
+            for event in scheduler.preemptions_at(epoch):
+                preempted = self._handle_preemption(
+                    event, groups, preempted, cost, model_bytes)
+            active = groups[:len(groups) - preempted] if preempted else groups
+            if not active:
+                break
+            active_mapping = MappingResult(
+                [mapping.groups[i] for i in range(len(active))],
+                config.topology)
+            active_plan = CommunicationPlan.from_mapping(active_mapping)
+
+            self._run_real_epoch(config, active, epoch, rng)
+            self._charge_epoch(config, cost, active_mapping, active_plan,
+                               controller, scheduler, mixed)
+
+            if epoch == 0:
+                # The group-size heuristic profiles *pre-merge* accuracy
+                # during the first epoch (§3.1) — one group's own model.
+                state["first_epoch_group_accuracy"] = evaluate_accuracy(
+                    active[0].fp32, config.task.x_test, config.task.y_test)
+
+            merged = average_states([g.state_dict() for g in active])
+            for group in active:
+                group.load_state(merged)
+            if mixed and options.fixed_alpha is None:
+                controller.update_alpha(
+                    *self._profile_logits(active[0], val_x))
+
+            accuracy = evaluate_accuracy(active[0].fp32, config.task.x_test,
+                                         config.task.y_test)
+            self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
+                                             history, state)
+            if options.checkpoint_path is not None:
+                self._write_checkpoint(options.checkpoint_path, active[0],
+                                       epoch, history, controller, cost,
+                                       config)
+
+        extra = {
+            "first_epoch_group_accuracy":
+                state.get("first_epoch_group_accuracy", 0.0),
+            "num_groups": mapping.num_groups,
+            "conflict_count": mapping.conflict_count(),
+            "num_cgs": plan.num_cgs,
+            "alpha_history": list(controller.history),
+            "groups_preempted": preempted,
+        }
+        if group_size_profile is not None:
+            extra["group_size_profile"] = group_size_profile
+        extra["final_state"] = groups[0].state_dict()
+        return self._result(self.name, config, cost, history, state, extra)
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+    def _build_groups(self, config: RunConfig, mapping: MappingResult,
+                      controller: MixedPrecisionController,
+                      mixed: bool) -> list[GroupMixedTrainer]:
+        options = self.options
+        groups: list[GroupMixedTrainer] = []
+        base = GroupMixedTrainer(config, controller, options.quant,
+                                 seed_offset=0,
+                                 mixed=mixed or options.precision == "int8")
+        groups.append(base)
+        init_state = base.state_dict()
+        for g in range(1, mapping.num_groups):
+            trainer = GroupMixedTrainer(config, controller, options.quant,
+                                        seed_offset=g, mixed=base.mixed)
+            trainer.load_state(init_state)
+            groups.append(trainer)
+        if options.precision == "int8":
+            for trainer in groups:
+                trainer.train_batch = _int8_only_step(trainer)  # type: ignore
+        return groups
+
+    @staticmethod
+    def _profile_logits(group: GroupMixedTrainer,
+                        val_x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        from ..nn.tensor import Tensor, no_grad
+        group.fp32.eval()
+        with no_grad():
+            logits_fp32 = group.fp32(Tensor(val_x)).data
+        logits_int8 = group.int8.predict_logits(val_x)
+        return logits_fp32, logits_int8
+
+    def _run_real_epoch(self, config: RunConfig,
+                        groups: list[GroupMixedTrainer], epoch: int,
+                        rng: np.random.Generator) -> None:
+        """Cross-group shuffle + lock-step group batches (real math)."""
+        n = len(groups)
+        order = rng.permutation(len(config.task.x_train))
+        shards = np.array_split(order, n)
+        # config.batch_size is BS_g: every group steps with a full batch
+        # (Table 1 — the paper's "global batch size 64" is per group).
+        group_batch = min(config.batch_size, min(len(s) for s in shards))
+        steps = max(1, min(len(s) for s in shards) // group_batch)
+        for step in range(steps):
+            for group, shard in zip(groups, shards):
+                idx = shard[step * group_batch:(step + 1) * group_batch]
+                group.train_batch(config.task.x_train[idx],
+                                  config.task.y_train[idx])
+
+    def _charge_epoch(self, config: RunConfig, cost: CostModel,
+                      mapping: MappingResult, plan: CommunicationPlan,
+                      controller: MixedPrecisionController,
+                      scheduler: GlobalScheduler, mixed: bool) -> None:
+        """Advance the simulated clock for one full-scale epoch."""
+        options = self.options
+        topo = config.topology
+        n = mapping.num_groups
+        # BS_g samples per group-step, spread over the group's M/N SoCs.
+        per_soc_samples = config.sim_global_batch * n / topo.num_socs
+
+        if options.precision == "int8":
+            cpu_n, npu_n = 0.0, per_soc_samples
+        elif mixed:
+            share = controller.cpu_share
+            cpu_n = share * per_soc_samples
+            npu_n = per_soc_samples - cpu_n
+        else:
+            cpu_n, npu_n = per_soc_samples, 0.0
+        cpu_busy = cpu_n * cost.t_cpu_sample
+        npu_busy = npu_n * cost.t_npu_sample
+        slowdown = max((scheduler.group_slowdown(socs)
+                        for socs in mapping.groups), default=1.0)
+        compute_s = max(cpu_busy, npu_busy) * slowdown
+
+        from ..distributed.base import OVERLAP_FRACTION
+        payload = cost.grad_bytes
+        if mapping.num_groups == 1:
+            raw = cost.fabric.ring_allreduce_time(mapping.groups[0], payload)
+            hidden = min(raw, OVERLAP_FRACTION * compute_s)
+        elif options.planning:
+            # Figure 7: the planned CG schedule interleaves each CG's sync
+            # with the other CG's compute, hiding up to a full compute
+            # window of synchronisation.
+            raw = sum(plan.planned_sync_seconds(cost.fabric, payload))
+            hidden = min(raw, compute_s)
+        else:
+            raw = plan.unplanned_sync_seconds(cost.fabric, payload)
+            hidden = min(raw, OVERLAP_FRACTION * compute_s)
+        sync_s = raw - hidden
+
+        update_s = cost.update_seconds()
+        # All N groups step in parallel: one parallel step consumes
+        # N * BS_g samples of the epoch.
+        steps = max(1, -(-config.sim_samples_per_epoch
+                         // (n * config.sim_global_batch)))
+        cost.clock.advance(steps * compute_s, "compute")
+        cost.clock.advance(steps * sync_s, "sync")
+        cost.clock.attribute(steps * hidden, "sync")
+        cost.clock.advance(steps * update_s, "update")
+        cost.energy.charge_mixed(steps * cpu_busy, steps * npu_busy,
+                                 steps * compute_s, topo.num_socs)
+        cost.energy.charge_network(steps * sync_s, topo.num_socs)
+        cost.energy.charge_network(steps * hidden, topo.num_socs,
+                                   include_idle=False)
+        cost.energy.charge_compute(steps * update_s, topo.num_socs, 1.0)
+
+        # Epoch tail: one unhidden intra-group sync + the leader ring
+        # (delayed aggregation) — "the extra delay of SoCFlow is only one
+        # intra-group and inter-group synchronization time".
+        tail = plan.planned_sync_seconds(cost.fabric, payload)
+        leaders = [socs[0] for socs in mapping.groups]
+        inter = (cost.fabric.ring_allreduce_time(leaders, payload)
+                 if len(leaders) > 1 else 0.0)
+        cost.charge_epoch_sync(sum(tail) + inter, topo.num_socs)
+
+    @staticmethod
+    def _try_resume(path: str, groups: list[GroupMixedTrainer],
+                    controller: MixedPrecisionController,
+                    history: list[float], config: RunConfig) -> int:
+        """Restore a prior run's state; returns the epoch to resume at."""
+        from .checkpoint import TrainingCheckpoint
+        try:
+            checkpoint = TrainingCheckpoint.load(path)
+        except FileNotFoundError:
+            return 0
+        for group in groups:
+            group.load_state(checkpoint.model_state)
+        controller.alpha = checkpoint.alpha
+        history.extend(checkpoint.accuracy_history)
+        return min(checkpoint.epoch + 1, config.max_epochs)
+
+    @staticmethod
+    def _write_checkpoint(path: str, group: GroupMixedTrainer, epoch: int,
+                          history: list[float],
+                          controller: MixedPrecisionController,
+                          cost: CostModel, config: RunConfig) -> None:
+        from .checkpoint import TrainingCheckpoint
+        checkpoint = TrainingCheckpoint(
+            model_state=group.state_dict(), epoch=epoch,
+            accuracy_history=list(history), alpha=controller.alpha,
+            rng_seed=config.seed, meta={"model": config.model_name})
+        checkpoint.save(path)
+        # writing to UFS happens off the critical path on every SoC,
+        # but the leader's write is charged once per epoch
+        cost.clock.advance(checkpoint.write_seconds(), "update")
+
+    def _handle_preemption(self, event: PreemptionEvent,
+                           groups: list[GroupMixedTrainer], preempted: int,
+                           cost: CostModel, model_bytes: float) -> int:
+        """Terminate whole logical groups; checkpoint their models."""
+        newly = min(event.num_groups, len(groups) - preempted - 1)
+        if newly > 0:
+            checkpoint_s = GlobalScheduler.checkpoint_seconds(model_bytes)
+            cost.clock.advance(checkpoint_s, "sync")
+        return preempted + max(0, newly)
+
+
+def _int8_only_step(trainer: GroupMixedTrainer):
+    """Replace the mixed step with a pure INT8 step (Ours-INT8 mode)."""
+    def step(x, y):
+        trainer.int8.train_step(x, y)
+        state = trainer.int8.model.state_dict()
+        trainer.fp32.load_state_dict(state)
+    return step
+
+
+def build_socflow(**kwargs) -> SoCFlow:
+    """Convenience constructor: ``build_socflow(planning=False, ...)``."""
+    return SoCFlow(SoCFlowOptions(**kwargs))

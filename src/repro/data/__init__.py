@@ -1,0 +1,20 @@
+"""Synthetic stand-ins for the paper's datasets (offline substitution).
+
+The paper trains on CIFAR-10, EMNIST, Fashion-MNIST, CelebA and
+CINIC-10.  With no network access, :mod:`repro.data` generates
+deterministic class-conditional image tasks with matching shapes and
+class counts; every strategy sees the same data, so the relative
+accuracy results the paper reports are preserved.
+"""
+
+from .synthetic import SyntheticImageTask, make_classification_images
+from .datasets import DATASET_REGISTRY, DatasetSpec, load_dataset
+from .loader import ArrayDataset, DataLoader, iid_partition, shard
+from .partition import dirichlet_partition, label_distribution, skewness
+
+__all__ = [
+    "SyntheticImageTask", "make_classification_images",
+    "DATASET_REGISTRY", "DatasetSpec", "load_dataset",
+    "ArrayDataset", "DataLoader", "iid_partition", "shard",
+    "dirichlet_partition", "label_distribution", "skewness",
+]

@@ -1,0 +1,37 @@
+"""Distributed training strategies (the paper's six baselines).
+
+Each strategy executes the *real* learning algorithm on the synthetic
+task (weights genuinely move; gradients are genuinely averaged,
+sparsified, or delayed) while a calibrated cost model advances a
+simulated clock for compute, synchronisation and update phases.
+
+Strategies
+----------
+- :class:`ParameterServer` — FP32 centralised aggregation (Li et al.).
+- :class:`RingAllReduce` — Horovod-style ring (Sergeev & Del Balso).
+- :class:`HiPress` — DGC-compressed ring synchronisation (Bai et al.).
+- :class:`TwoDParallel` — pipeline-within-group, ring-across (Optimus-CC).
+- :class:`FedAvg` — per-epoch federated averaging (McMahan et al.).
+- :class:`TreeFedAvg` — hierarchical tree-aggregated FedAvg.
+- :class:`LocalSingleSoC` — the single-SoC reference ("Local" in Table 3).
+"""
+
+from .base import (CostModel, RunConfig, Strategy, StrategyResult,
+                   evaluate_accuracy, make_model)
+from .local import LocalSingleSoC
+from .parameter_server import ParameterServer
+from .ring_allreduce import RingAllReduce
+from .hipress import HiPress
+from .two_d_parallel import TwoDParallel
+from .ssp import StaleSynchronous
+from .fedavg import FedAvg
+from .tree_fedavg import TreeFedAvg
+from .registry import STRATEGY_REGISTRY, build_strategy
+
+__all__ = [
+    "RunConfig", "Strategy", "StrategyResult", "CostModel",
+    "evaluate_accuracy", "make_model",
+    "LocalSingleSoC", "ParameterServer", "RingAllReduce", "HiPress",
+    "TwoDParallel", "FedAvg", "TreeFedAvg", "StaleSynchronous",
+    "STRATEGY_REGISTRY", "build_strategy",
+]

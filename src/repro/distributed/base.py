@@ -1,0 +1,280 @@
+"""Shared machinery for all distributed strategies.
+
+The hybrid-fidelity contract (DESIGN.md decision 1): learning dynamics
+are executed for real at a reduced scale, while wall-clock time and
+energy are charged by :class:`CostModel`, which is calibrated to the
+paper's full-scale SoC-Cluster.  ``RunConfig`` therefore carries both a
+*real* training configuration (the synthetic task, the reduced model
+width) and a *simulated* one (paper-scale dataset size, batch size and
+SoC count).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.clock import PhaseClock
+from ..cluster.energy import EnergyModel, EnergyReport
+from ..cluster.network import NetworkFabric
+from ..cluster.spec import ModelProfile, model_profile
+from ..cluster.topology import ClusterTopology
+from ..data.synthetic import SyntheticImageTask
+from ..nn import functional as F
+from ..nn.modules import Module
+from ..nn.models import build_model
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["RunConfig", "CostModel", "StrategyResult", "Strategy",
+           "make_model", "evaluate_accuracy", "fp32_train_step"]
+
+#: fraction of a step's compute window that layer-by-layer
+#: computing/communication overlap (§4.1 optimisation 1) can hide.
+OVERLAP_FRACTION = 0.3
+
+
+@dataclass
+class RunConfig:
+    """Everything one training run needs.
+
+    Real-execution fields drive the numpy training; ``sim_*`` fields
+    drive the calibrated clock at paper scale.
+    """
+
+    task: SyntheticImageTask
+    model_name: str = "vgg11"
+    width: float = 0.25
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    max_epochs: int = 20
+    target_accuracy: float | None = None
+    seed: int = 0
+
+    topology: ClusterTopology = field(
+        default_factory=lambda: ClusterTopology(num_socs=32))
+    sim_samples_per_epoch: int = 50_000
+    sim_global_batch: int = 64
+    #: logical group count for grouped strategies (SoCFlow, 2D, T-FedAvg)
+    num_groups: int = 8
+    #: pre-trained weights for transfer learning (ResNet50-Finetune):
+    #: loaded into every freshly built model replica
+    init_state: dict | None = None
+    #: freeze the backbone after loading ``init_state`` (ResNet-50 only)
+    freeze_backbone: bool = False
+    #: INT8 path settings are owned by the SoCFlow strategy
+
+    def model_kwargs(self, seed_offset: int = 0) -> dict:
+        channels, size, _ = (self.task.input_shape[0],
+                             self.task.input_shape[1],
+                             self.task.input_shape[2])
+        return {
+            "num_classes": self.task.num_classes,
+            "in_channels": channels,
+            "image_size": size,
+            "width": self.width,
+            "seed": self.seed + seed_offset,
+        }
+
+
+def make_model(config: RunConfig, seed_offset: int = 0) -> Module:
+    model = build_model(config.model_name, **config.model_kwargs(seed_offset))
+    if config.init_state is not None:
+        model.load_state_dict(config.init_state)
+    if config.freeze_backbone:
+        if not hasattr(model, "freeze_backbone"):
+            raise ValueError(
+                f"{config.model_name} does not support backbone freezing")
+        model.freeze_backbone()
+    return model
+
+
+def evaluate_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
+                      batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on ``(x, y)``."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            logits = model(Tensor(x[start:start + batch_size])).data
+            pred = logits.argmax(axis=1)
+            correct += int((pred == y[start:start + batch_size]).sum())
+    return correct / len(x)
+
+
+def fp32_train_step(model: Module, optimizer: SGD, x: np.ndarray,
+                    y: np.ndarray) -> float:
+    """One synchronous SGD step; returns the batch loss."""
+    model.train()
+    optimizer.zero_grad()
+    logits = model(Tensor(x))
+    loss = F.cross_entropy(logits, y)
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class CostModel:
+    """Calibrated per-phase cost calculator at paper scale."""
+
+    def __init__(self, config: RunConfig):
+        self.config = config
+        self.topology = config.topology
+        self.profile: ModelProfile = model_profile(config.model_name)
+        self.fabric = NetworkFabric(config.topology,
+                                    num_tensors=self.profile.num_tensors)
+        soc = config.topology.soc
+        # Measured Fig-4a latencies when available (scaled by the SoC's
+        # throughput relative to the SD865 they were measured on);
+        # otherwise FLOPs / sustained throughput.
+        from .. cluster.spec import SOC_REGISTRY
+        sd865 = SOC_REGISTRY["sd865"]
+        if self.profile.t_cpu_sample_s is not None:
+            self.t_cpu_sample = (self.profile.t_cpu_sample_s
+                                 * sd865.cpu.flops / soc.cpu.flops)
+        else:
+            self.t_cpu_sample = self.profile.flops_per_sample / soc.cpu.flops
+        if self.profile.t_npu_sample_s is not None:
+            self.t_npu_sample = (self.profile.t_npu_sample_s
+                                 * sd865.npu.flops / soc.npu.flops)
+        else:
+            self.t_npu_sample = self.profile.flops_per_sample / soc.npu.flops
+        self.energy = EnergyModel(soc)
+        self.clock = PhaseClock()
+
+    # -- sizes ----------------------------------------------------------
+    @property
+    def steps_per_epoch(self) -> int:
+        return max(1, math.ceil(self.config.sim_samples_per_epoch
+                                / self.config.sim_global_batch))
+
+    @property
+    def grad_bytes(self) -> float:
+        return float(self.profile.payload_bytes("fp32"))
+
+    # -- per-phase charging ---------------------------------------------
+    def compute_seconds(self, samples_per_soc: float,
+                        processor: str = "cpu") -> float:
+        per_sample = (self.t_cpu_sample if processor == "cpu"
+                      else self.t_npu_sample)
+        return samples_per_soc * per_sample
+
+    def update_seconds(self) -> float:
+        """Optimizer update: memory-bound (read grad+weight+momentum,
+        write weight+momentum -> ~16 bytes/parameter over LPDDR5)."""
+        return 16.0 * self.profile.params / self.topology.soc.mem_bps
+
+    def charge_step(self, compute_s: float, sync_s: float,
+                    num_socs: int, cpu_fraction: float = 1.0,
+                    overlap: bool = True) -> None:
+        """Advance the clock by one training step.
+
+        ``sync_s`` is reduced by the computing/communication overlap
+        optimisation when ``overlap`` (all strategies get it, §4.1).
+        """
+        hidden = 0.0
+        if overlap:
+            hidden = min(sync_s, OVERLAP_FRACTION * compute_s)
+            sync_s -= hidden
+        update_s = self.update_seconds()
+        self.clock.advance(compute_s, "compute")
+        self.clock.advance(sync_s, "sync")
+        self.clock.attribute(hidden, "sync")
+        self.clock.advance(update_s, "update")
+        self.energy.charge_compute(compute_s, num_socs, cpu_fraction)
+        self.energy.charge_network(sync_s, num_socs)
+        self.energy.charge_network(hidden, num_socs, include_idle=False)
+        self.energy.charge_compute(update_s, num_socs, 1.0)
+
+    def charge_epoch_sync(self, sync_s: float, num_socs: int) -> None:
+        self.clock.advance(sync_s, "sync")
+        self.energy.charge_network(sync_s, num_socs)
+
+
+@dataclass
+class StrategyResult:
+    """Outcome of one strategy's training run."""
+
+    strategy: str
+    accuracy_history: list[float]
+    sim_time_s: float
+    breakdown: dict[str, float]
+    energy: EnergyReport
+    epochs_run: int
+    epochs_to_target: int | None
+    converged: bool
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracy_history[-1] if self.accuracy_history else 0.0
+
+    @property
+    def best_accuracy(self) -> float:
+        return max(self.accuracy_history) if self.accuracy_history else 0.0
+
+    @property
+    def sim_time_hours(self) -> float:
+        return self.sim_time_s / 3600.0
+
+    def phase_shares(self) -> dict[str, float]:
+        """Phase → share of total *busy* time (Figure 12's breakdown).
+
+        Overlapped sync is busy network time, so the denominator is the
+        sum of phase totals, which can exceed the wall clock.
+        """
+        total = sum(self.breakdown.values())
+        if total <= 0:
+            return {phase: 0.0 for phase in self.breakdown}
+        return {phase: value / total for phase, value in self.breakdown.items()}
+
+    def time_to_target_s(self) -> float | None:
+        """Simulated time at which the target accuracy was first reached."""
+        if self.epochs_to_target is None or not self.epochs_run:
+            return None
+        return self.sim_time_s * self.epochs_to_target / self.epochs_run
+
+
+class Strategy(abc.ABC):
+    """A distributed training method: real math + simulated clock."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def train(self, config: RunConfig) -> StrategyResult:
+        """Run to ``config.max_epochs`` (or target accuracy) and report."""
+
+    # -- helpers shared by subclasses -----------------------------------
+    @staticmethod
+    def _epoch_accuracy_bookkeeping(
+            accuracy: float, epoch: int, config: RunConfig,
+            history: list[float], state: dict) -> bool:
+        """Track accuracy history / target; returns True when done early."""
+        history.append(accuracy)
+        target = config.target_accuracy
+        if (target is not None and accuracy >= target
+                and state.get("epochs_to_target") is None):
+            state["epochs_to_target"] = epoch + 1
+        return False
+
+    @staticmethod
+    def _result(name: str, config: RunConfig, cost: CostModel,
+                history: list[float], state: dict,
+                extra: dict | None = None) -> StrategyResult:
+        epochs_to_target = state.get("epochs_to_target")
+        return StrategyResult(
+            strategy=name,
+            accuracy_history=history,
+            sim_time_s=cost.clock.now,
+            breakdown=cost.clock.breakdown(),
+            energy=cost.energy.report,
+            epochs_run=len(history),
+            epochs_to_target=epochs_to_target,
+            converged=epochs_to_target is not None,
+            extra=extra or {},
+        )

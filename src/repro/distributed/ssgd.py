@@ -1,0 +1,93 @@
+"""Synchronous data-parallel SGD core shared by PS / RING / HiPress / 2D.
+
+All four baselines compute mathematically identical updates (Table 3
+shows them converging to the same accuracy); they differ in *where the
+time goes*, which is what their ``step_sync_seconds`` hooks model.
+HiPress additionally transforms the gradients for real (DGC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.loader import ArrayDataset, DataLoader
+from ..nn.optim import SGD
+from .base import (CostModel, RunConfig, Strategy, StrategyResult,
+                   evaluate_accuracy, fp32_train_step, make_model)
+
+__all__ = ["SsgdStrategy"]
+
+
+class SsgdStrategy(Strategy):
+    """Template: per-batch whole-cluster synchronisation, FP32 on CPUs."""
+
+    name = "ssgd"
+
+    # -- hooks ------------------------------------------------------------
+    def step_sync_seconds(self, cost: CostModel) -> float:
+        """Simulated synchronisation time of one training step."""
+        raise NotImplementedError
+
+    def step_compute_seconds(self, cost: CostModel) -> float:
+        """Per-step compute; each SoC trains its slice of the batch."""
+        per_soc = cost.config.sim_global_batch / cost.topology.num_socs
+        return cost.compute_seconds(per_soc, "cpu")
+
+    def transform_gradients(self, model) -> None:
+        """Hook for strategies that modify gradients (HiPress)."""
+
+    def extra_epoch_sync_seconds(self, cost: CostModel) -> float:
+        return 0.0
+
+    def on_epoch_begin(self, epoch: int) -> None:
+        """Hook for per-epoch schedules (HiPress's DGC warm-up)."""
+
+    # -- main loop ---------------------------------------------------------
+    def train(self, config: RunConfig) -> StrategyResult:
+        cost = CostModel(config)
+        model = make_model(config)
+        optimizer = SGD(model.parameters(), lr=config.lr,
+                        momentum=config.momentum,
+                        weight_decay=config.weight_decay)
+        loader = DataLoader(
+            ArrayDataset(config.task.x_train, config.task.y_train),
+            config.batch_size, shuffle=True, seed=config.seed)
+
+        compute_s = self.step_compute_seconds(cost)
+        sync_s = self.step_sync_seconds(cost)
+        history: list[float] = []
+        state: dict = {}
+        for epoch in range(config.max_epochs):
+            self.on_epoch_begin(epoch)
+            for x, y in loader:
+                if self._uses_gradient_hook():
+                    self._step_with_hook(model, optimizer, x, y)
+                else:
+                    fp32_train_step(model, optimizer, x, y)
+            for _ in range(cost.steps_per_epoch):
+                cost.charge_step(compute_s, sync_s, cost.topology.num_socs)
+            epoch_sync = self.extra_epoch_sync_seconds(cost)
+            if epoch_sync:
+                cost.charge_epoch_sync(epoch_sync, cost.topology.num_socs)
+            accuracy = evaluate_accuracy(model, config.task.x_test,
+                                         config.task.y_test)
+            self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
+                                             history, state)
+        return self._result(self.name, config, cost, history, state)
+
+    # -- gradient-hook plumbing ---------------------------------------------
+    def _uses_gradient_hook(self) -> bool:
+        return type(self).transform_gradients is not SsgdStrategy.transform_gradients
+
+    def _step_with_hook(self, model, optimizer: SGD, x: np.ndarray,
+                        y: np.ndarray) -> float:
+        from ..nn import functional as F
+        from ..nn.tensor import Tensor
+        model.train()
+        optimizer.zero_grad()
+        logits = model(Tensor(x))
+        loss = F.cross_entropy(logits, y)
+        loss.backward()
+        self.transform_gradients(model)
+        optimizer.step()
+        return loss.item()

@@ -1,0 +1,23 @@
+"""Tree-aggregated hierarchical FedAvg (Jayaram et al. / Mhaisen et al.).
+
+Identical client-side math to :class:`~repro.distributed.FedAvg` —
+Table 3 reports the same accuracy for both — but aggregation flows up a
+two-level tree (PCB members -> PCB leader -> root) instead of incasting
+at one server, which shortens the per-round synchronisation.
+"""
+
+from __future__ import annotations
+
+from .base import CostModel
+from .fedavg import FedAvg
+
+__all__ = ["TreeFedAvg"]
+
+
+class TreeFedAvg(FedAvg):
+    name = "t_fedavg"
+
+    def round_sync_seconds(self, cost: CostModel) -> float:
+        topo = cost.topology
+        groups = [topo.socs_on_pcb(p) for p in range(topo.num_pcbs)]
+        return cost.fabric.tree_aggregate_time(groups, cost.grad_bytes)

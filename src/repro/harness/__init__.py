@@ -1,0 +1,18 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each ``run_*`` function builds the workloads at a chosen scale preset,
+executes the real strategies, and returns structured rows; the
+``benchmarks/`` suite calls these and prints the same series the paper
+reports (see EXPERIMENTS.md for paper-vs-measured).
+"""
+
+from .experiments import (SCALE_PRESETS, WORKLOADS, ScalePreset, Workload,
+                          make_run_config, prepare_task, pretrain_for_transfer)
+from .gpu import gpu_training_time_s, gpu_energy_kj
+from .reporting import format_table, format_series
+
+__all__ = [
+    "SCALE_PRESETS", "WORKLOADS", "ScalePreset", "Workload",
+    "make_run_config", "prepare_task", "pretrain_for_transfer",
+    "gpu_training_time_s", "gpu_energy_kj", "format_table", "format_series",
+]

@@ -1,0 +1,35 @@
+"""Plain-text table/series rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table with a header rule."""
+    table = [[_cell(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in table)) if table else len(h)
+              for i, h in enumerate(headers)]
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), rule] + [line(r) for r in table])
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One figure series as aligned columns."""
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return f"[{name}]\n" + format_table([x_label, y_label], rows)

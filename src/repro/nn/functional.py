@@ -1,0 +1,245 @@
+"""Neural-network ops with hand-written, vectorised backward passes.
+
+Convolution uses im2col/col2im so that both directions reduce to one
+large matrix multiply — the only way a pure-numpy CNN stays fast enough
+to train inside the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear", "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
+    "batch_norm", "log_softmax", "softmax", "cross_entropy", "dropout",
+    "im2col", "col2im",
+]
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Unfold NCHW ``x`` into ``(N, C*k*k, L)`` patch columns.
+
+    ``x`` must already be padded.  Uses stride tricks: no data copy until
+    the final reshape.
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    return windows.reshape(n, c * kernel * kernel, out_h * out_w)
+
+
+def col2im(cols: np.ndarray, x_shape: tuple[int, ...], kernel: int,
+           stride: int) -> np.ndarray:
+    """Fold ``(N, C*k*k, L)`` columns back into NCHW, summing overlaps."""
+    n, c, h, w = x_shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for ki in range(kernel):
+        h_end = ki + stride * out_h
+        for kj in range(kernel):
+            w_end = kj + stride * out_w
+            x[:, :, ki:h_end:stride, kj:w_end:stride] += cols[:, :, ki, kj]
+    return x
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ weight.T + bias`` with ``weight`` shaped (out, in)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    """2-D convolution over NCHW input.
+
+    ``weight`` is shaped ``(out_channels, in_channels // groups, k, k)``.
+    ``groups=in_channels`` gives the depthwise convolution MobileNet needs.
+    """
+    if padding:
+        x = x.pad2d(padding)
+    n, c, h, w = x.shape
+    out_c, in_c_per_group, kernel, _ = weight.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+
+    if groups == 1:
+        cols = im2col(x.data, kernel, stride)              # (N, C*k*k, L)
+        w_mat = weight.data.reshape(out_c, -1)              # (O, C*k*k)
+        out_data = np.matmul(w_mat[None, :, :], cols)
+        out_data = out_data.reshape(n, out_c, out_h, out_w)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_mat = grad.reshape(n, out_c, -1)           # (N, O, L)
+            if weight.requires_grad:
+                grad_w = np.einsum("nol,nkl->ok", grad_mat, cols, optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_cols = np.matmul(w_mat.T[None, :, :], grad_mat)
+                x._accumulate(col2im(grad_cols, x.shape, kernel, stride))
+
+        out = Tensor._make(out_data, (x, weight), backward)
+    else:
+        # Grouped/depthwise: run each group through the same im2col path.
+        group_in = c // groups
+        group_out = out_c // groups
+        cols = im2col(x.data, kernel, stride)
+        cols = cols.reshape(n, groups, group_in * kernel * kernel, -1)
+        w_mat = weight.data.reshape(groups, group_out, -1)
+        out_data = np.einsum("gok,ngkl->ngol", w_mat, cols, optimize=True)
+        out_data = out_data.reshape(n, out_c, out_h, out_w)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_mat = grad.reshape(n, groups, group_out, -1)
+            if weight.requires_grad:
+                grad_w = np.einsum("ngol,ngkl->gok", grad_mat, cols, optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("gok,ngol->ngkl", w_mat, grad_mat,
+                                      optimize=True)
+                grad_cols = grad_cols.reshape(n, c * kernel * kernel, -1)
+                x._accumulate(col2im(grad_cols, x.shape, kernel, stride))
+
+        out = Tensor._make(out_data, (x, weight), backward)
+
+    if bias is not None:
+        out = out + bias.reshape(1, out_c, 1, 1)
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride)
+    cols = cols.reshape(n * c, kernel * kernel, out_h * out_w)
+    arg = cols.argmax(axis=1)                               # (N*C, L)
+    out_data = np.take_along_axis(cols, arg[:, None, :], axis=1)
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = np.zeros((n * c, kernel * kernel, out_h * out_w),
+                             dtype=np.float32)
+        np.put_along_axis(grad_cols, arg[:, None, :],
+                          grad.reshape(n * c, 1, -1), axis=1)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride)
+        x._accumulate(grad_x.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride)
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = np.broadcast_to(
+            grad.reshape(n * c, 1, -1) * scale,
+            (n * c, kernel * kernel, out_h * out_w)).astype(np.float32)
+        grad_x = col2im(grad_cols.copy(), (n * c, 1, h, w), kernel, stride)
+        x._accumulate(grad_x.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over H and W, returning (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm(x: Tensor, weight: Tensor, bias: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool, momentum: float = 0.1,
+               eps: float = 1e-5) -> Tensor:
+    """Batch normalisation over the channel axis of NC or NCHW input.
+
+    Mutates ``running_mean``/``running_var`` in place during training, as
+    torch does; they are plain numpy buffers owned by the module.
+    """
+    axes = (0,) if x.ndim == 2 else (0, 2, 3)
+    shape = (1, -1) if x.ndim == 2 else (1, -1, 1, 1)
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean
+        running_var *= (1.0 - momentum)
+        running_var += momentum * var
+    else:
+        mean, var = running_mean, running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out_data = x_hat * weight.data.reshape(shape) + bias.data.reshape(shape)
+
+    count = x.data.size // x.shape[1 if x.ndim > 1 else 0]
+
+    def backward(grad: np.ndarray) -> None:
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=axes))
+        if weight.requires_grad:
+            weight._accumulate((grad * x_hat).sum(axis=axes))
+        if x.requires_grad:
+            g = grad * weight.data.reshape(shape)
+            if training:
+                grad_sum = g.sum(axis=axes, keepdims=True)
+                grad_dot = (g * x_hat).sum(axis=axes, keepdims=True)
+                grad_x = (g - grad_sum / count
+                          - x_hat * grad_dot / count) * inv_std.reshape(shape)
+            else:
+                grad_x = g * inv_std.reshape(shape)
+            x._accumulate(grad_x.astype(np.float32))
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and int targets (N,)."""
+    targets = np.asarray(targets)
+    log_probs = log_softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: np.random.Generator) -> Tensor:
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return x * Tensor(mask)

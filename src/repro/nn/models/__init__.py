@@ -1,0 +1,18 @@
+"""The SoCFlow model zoo (Table 2 of the paper).
+
+Every constructor accepts ``width`` (channel multiplier) so the
+pure-numpy harness can train faithful-but-narrow variants quickly; the
+default ``width=1.0`` gives the standard architecture.
+"""
+
+from .lenet import LeNet5
+from .vgg import VGG11
+from .resnet import ResNet18, ResNet50
+from .mobilenet import MobileNetV1
+from .transformer import (LayerNorm, MultiHeadAttention, TransformerBlock,
+                          VisionTransformer)
+from .registry import build_model, MODEL_REGISTRY
+
+__all__ = ["LeNet5", "VGG11", "ResNet18", "ResNet50", "MobileNetV1",
+           "VisionTransformer", "LayerNorm", "MultiHeadAttention",
+           "TransformerBlock", "build_model", "MODEL_REGISTRY"]

@@ -1,0 +1,57 @@
+"""LeNet-5 (LeCun et al.) for 28x28 single-channel inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..modules import (Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU,
+                       Sequential)
+from ..tensor import Tensor
+
+
+def _scaled(channels: int, width: float) -> int:
+    return max(1, int(round(channels * width)))
+
+
+class LeNet5(Module):
+    """Classic LeNet-5 with ReLU activations and max pooling.
+
+    Parameters
+    ----------
+    num_classes: output classes (47 for EMNIST-balanced, 10 for F-MNIST).
+    in_channels: input channels (1 for the MNIST family).
+    image_size: square input side; 28 matches the paper's datasets.
+    width: channel multiplier for fast reduced-scale experiments.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 1,
+                 image_size: int = 28, width: float = 1.0,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c1 = _scaled(6, width)
+        c2 = _scaled(16, width)
+        self.features = Sequential(
+            Conv2d(in_channels, c1, 5, rng, padding=2),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, 5, rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        # 28 -> (pad2, k5) 28 -> pool 14 -> k5 10 -> pool 5
+        feat = (image_size // 2 - 4) // 2
+        flat = c2 * feat * feat
+        h1 = _scaled(120, width)
+        h2 = _scaled(84, width)
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(flat, h1, rng),
+            ReLU(),
+            Linear(h1, h2, rng),
+            ReLU(),
+            Linear(h2, num_classes, rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

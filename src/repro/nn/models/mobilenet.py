@@ -1,0 +1,68 @@
+"""MobileNet-V1 (Howard et al.): depthwise-separable convolutions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..modules import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Module,
+                       ReLU, Sequential)
+from ..tensor import Tensor
+
+# (output channels, stride) per depthwise-separable block; CIFAR variant
+# keeps early strides at 1 so 32x32 inputs retain spatial detail.
+_MOBILENET_CFG = [
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+]
+
+
+def _scaled(channels: int, width: float) -> int:
+    return max(1, int(round(channels * width)))
+
+
+class DepthwiseSeparable(Module):
+    """3x3 depthwise conv + 1x1 pointwise conv, each with BN+ReLU."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.depthwise = Conv2d(in_channels, in_channels, 3, rng,
+                                stride=stride, padding=1, groups=in_channels,
+                                bias=False)
+        self.bn1 = BatchNorm2d(in_channels)
+        self.pointwise = Conv2d(in_channels, out_channels, 1, rng, bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.bn1(self.depthwise(x)).relu()
+        return self.bn2(self.pointwise(x)).relu()
+
+
+class MobileNetV1(Module):
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 image_size: int = 32, width: float = 1.0, seed: int = 0,
+                 depth: int | None = None):
+        super().__init__()
+        del image_size
+        rng = np.random.default_rng(seed)
+        stem_out = _scaled(32, width)
+        layers: list[Module] = [
+            Conv2d(in_channels, stem_out, 3, rng, stride=1, padding=1,
+                   bias=False),
+            BatchNorm2d(stem_out),
+            ReLU(),
+        ]
+        channels = stem_out
+        cfg = _MOBILENET_CFG if depth is None else _MOBILENET_CFG[:depth]
+        for out, stride in cfg:
+            out = _scaled(out, width)
+            layers.append(DepthwiseSeparable(channels, out, stride, rng))
+            channels = out
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = self.pool(x)
+        return self.fc(x)

@@ -1,0 +1,31 @@
+"""Name-based model construction used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..modules import Module
+from .lenet import LeNet5
+from .mobilenet import MobileNetV1
+from .resnet import ResNet18, ResNet50
+from .transformer import VisionTransformer
+from .vgg import VGG11
+
+MODEL_REGISTRY: dict[str, Callable[..., Module]] = {
+    "lenet5": LeNet5,
+    "vgg11": VGG11,
+    "resnet18": ResNet18,
+    "resnet50": ResNet50,
+    "mobilenet_v1": MobileNetV1,
+    "vit_tiny": VisionTransformer,
+}
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Construct a zoo model by name (``lenet5``, ``vgg11``, ...)."""
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise ValueError(f"unknown model {name!r}; known models: {known}") from None
+    return factory(**kwargs)

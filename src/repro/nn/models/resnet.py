@@ -1,0 +1,133 @@
+"""ResNet-18 and ResNet-50 (He et al.) in CIFAR form (3x3 stem)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..modules import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity,
+                       Linear, Module, ReLU, Sequential)
+from ..tensor import Tensor
+
+
+def _scaled(channels: int, width: float) -> int:
+    return max(1, int(round(channels * width)))
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with an identity / projection shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, rng, stride=stride,
+                            padding=1, bias=False)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, rng, padding=1,
+                            bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, rng, stride=stride,
+                       bias=False),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class Bottleneck(Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck used by ResNet-50."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        expanded = out_channels * self.expansion
+        self.conv1 = Conv2d(in_channels, out_channels, 1, rng, bias=False)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, rng, stride=stride,
+                            padding=1, bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.conv3 = Conv2d(out_channels, expanded, 1, rng, bias=False)
+        self.bn3 = BatchNorm2d(expanded)
+        if stride != 1 or in_channels != expanded:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, expanded, 1, rng, stride=stride,
+                       bias=False),
+                BatchNorm2d(expanded),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class _ResNet(Module):
+    def __init__(self, block_cls, blocks_per_stage: list[int],
+                 num_classes: int, in_channels: int, width: float, seed: int):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        base = _scaled(64, width)
+        self.stem = Sequential(
+            Conv2d(in_channels, base, 3, rng, padding=1, bias=False),
+            BatchNorm2d(base),
+            ReLU(),
+        )
+        stages: list[Module] = []
+        channels = base
+        for stage_index, num_blocks in enumerate(blocks_per_stage):
+            out = _scaled(64 * 2 ** stage_index, width)
+            stride = 1 if stage_index == 0 else 2
+            for block_index in range(num_blocks):
+                block = block_cls(channels, out,
+                                  stride if block_index == 0 else 1, rng)
+                stages.append(block)
+                channels = out * block_cls.expansion
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.stages(x)
+        x = self.pool(x)
+        return self.fc(x)
+
+
+class ResNet18(_ResNet):
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 image_size: int = 32, width: float = 1.0, seed: int = 0):
+        del image_size  # fully convolutional; accepted for API uniformity
+        super().__init__(BasicBlock, [2, 2, 2, 2], num_classes, in_channels,
+                         width, seed)
+
+
+class ResNet50(_ResNet):
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 image_size: int = 32, width: float = 1.0, seed: int = 0):
+        del image_size
+        super().__init__(Bottleneck, [3, 4, 6, 3], num_classes, in_channels,
+                         width, seed)
+
+    def freeze_backbone(self) -> None:
+        """Transfer-learning mode (paper: CINIC-10 -> CIFAR-10 finetune).
+
+        Only the final classifier keeps ``requires_grad``; the backbone is
+        treated as a pre-trained feature extractor.
+        """
+        for _, param in self.stem.named_parameters():
+            param.requires_grad = False
+        for _, param in self.stages.named_parameters():
+            param.requires_grad = False

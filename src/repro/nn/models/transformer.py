@@ -1,0 +1,133 @@
+"""A compact Vision Transformer — the paper's §5 future-work model.
+
+"The recent developments of mobile NPUs open up more opportunities for
+SoCFlow to train relatively larger DNNs, including Transformers, on
+SoC-Cluster."  This ViT-style classifier exercises exactly the pieces
+CNNs don't: LayerNorm, multi-head self-attention and GELU MLPs, all
+expressed through the same autograd engine so every SoCFlow strategy
+can train it unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..modules import Conv2d, Linear, Module, Sequential
+from ..tensor import Tensor
+
+__all__ = ["LayerNorm", "MultiHeadAttention", "TransformerBlock", "VisionTransformer"]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = self.register_parameter(
+            "weight", Tensor(init.ones((dim,))))
+        self.bias = self.register_parameter(
+            "bias", Tensor(init.zeros((dim,))))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.weight + self.bias
+
+
+class GELU(Module):
+    """Tanh-approximated GELU (the mobile-friendly form)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        inner = 0.7978845608 * (x + 0.044715 * x * x * x)
+        return x * 0.5 * (1.0 + inner.tanh())
+
+
+class MultiHeadAttention(Module):
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError("dim must divide evenly into heads")
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, tokens, dim = x.shape
+        qkv = self.qkv(x)                       # (B, T, 3D)
+        qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)      # (3, B, H, T, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scale = 1.0 / math.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale   # (B, H, T, T)
+        attention = F.softmax(scores, axis=-1)
+        out = attention @ v                     # (B, H, T, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, tokens, dim)
+        return self.proj(out)
+
+
+class TransformerBlock(Module):
+    """Pre-norm attention + MLP with residuals."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadAttention(dim, num_heads, rng)
+        self.norm2 = LayerNorm(dim)
+        hidden = int(dim * mlp_ratio)
+        self.mlp = Sequential(
+            Linear(dim, hidden, rng),
+            GELU(),
+            Linear(hidden, dim, rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        return x + self.mlp(self.norm2(x))
+
+
+class VisionTransformer(Module):
+    """ViT-style classifier over small images.
+
+    Patches come from a strided convolution; a learned position
+    embedding is added; mean-pooled tokens feed the classifier head.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 image_size: int = 32, width: float = 1.0, seed: int = 0,
+                 patch_size: int = 4, depth: int = 4, num_heads: int = 4):
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError("image_size must be a multiple of patch_size")
+        rng = np.random.default_rng(seed)
+        dim = max(num_heads, int(round(128 * width)))
+        dim -= dim % num_heads
+        self.patch_embed = Conv2d(in_channels, dim, patch_size, rng,
+                                  stride=patch_size)
+        tokens = (image_size // patch_size) ** 2
+        self.pos_embed = self.register_parameter(
+            "pos_embed",
+            Tensor(0.02 * rng.standard_normal((1, tokens, dim))
+                   .astype(np.float32)))
+        self.blocks = Sequential(*[
+            TransformerBlock(dim, num_heads, mlp_ratio=2.0, rng=rng)
+            for _ in range(depth)])
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        patches = self.patch_embed(x)            # (B, D, H', W')
+        batch, dim = patches.shape[0], patches.shape[1]
+        tokens = patches.reshape(batch, dim, -1).transpose(0, 2, 1)
+        tokens = tokens + self.pos_embed
+        tokens = self.blocks(tokens)
+        pooled = self.norm(tokens).mean(axis=1)  # (B, D)
+        return self.head(pooled)

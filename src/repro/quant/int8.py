@@ -1,0 +1,93 @@
+"""Symmetric INT8 quantisation primitives.
+
+All quantisers are symmetric around zero (the format mobile NPUs such
+as the Hexagon DSP support natively) with a per-tensor scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantConfig", "quantize", "dequantize", "fake_quantize",
+           "quantization_error"]
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Quantisation settings for the INT8 training path.
+
+    Attributes
+    ----------
+    bits:
+        Bit width (8 for the Hexagon NPU; other widths let the harness
+        explore the future-work formats the paper's §5 mentions).
+    stochastic_rounding:
+        NITI-style stochastic rounding of gradients; reduces bias at the
+        cost of variance.
+    quantize_gradients / quantize_weights / quantize_activations:
+        Which tensors are forced onto the integer grid each step.
+    """
+
+    bits: int = 8
+    stochastic_rounding: bool = True
+    quantize_gradients: bool = True
+    quantize_weights: bool = True
+    quantize_activations: bool = True
+    #: use IEEE float16 instead of the integer grid — one of the newer
+    #: NPU formats the paper's §5 anticipates (INT4/INT8/INT16/FP16)
+    float16: bool = False
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def format_name(self) -> str:
+        return "fp16" if self.float16 else f"int{self.bits}"
+
+
+def _scale_for(x: np.ndarray, qmax: int) -> float:
+    peak = float(np.abs(x).max())
+    if peak == 0.0:
+        return 1.0
+    return peak / qmax
+
+
+def quantize(x: np.ndarray, scale: float, qmax: int,
+             rng: np.random.Generator | None = None) -> np.ndarray:
+    """Map ``x`` to integers in ``[-qmax, qmax]`` with the given scale."""
+    scaled = x / scale
+    if rng is not None:
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        scaled = floor + (rng.random(x.shape) < frac)
+    else:
+        scaled = np.rint(scaled)
+    return np.clip(scaled, -qmax, qmax).astype(np.int32)
+
+
+def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    return (q * scale).astype(np.float32)
+
+
+def fake_quantize(x: np.ndarray, config: QuantConfig,
+                  rng: np.random.Generator | None = None,
+                  scale: float | None = None) -> np.ndarray:
+    """Round-trip ``x`` through the configured low-precision format."""
+    if config.float16:
+        return x.astype(np.float16).astype(np.float32)
+    qmax = config.qmax
+    if scale is None:
+        scale = _scale_for(x, qmax)
+    use_rng = rng if config.stochastic_rounding else None
+    return dequantize(quantize(x, scale, qmax, rng=use_rng), scale)
+
+
+def quantization_error(x: np.ndarray, config: QuantConfig) -> float:
+    """Relative L2 error introduced by one quantisation round trip."""
+    norm = float(np.linalg.norm(x))
+    if norm == 0.0:
+        return 0.0
+    return float(np.linalg.norm(fake_quantize(x, config) - x)) / norm

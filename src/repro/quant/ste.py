@@ -1,0 +1,71 @@
+"""Straight-through-estimator quantisation inside the autograd graph.
+
+Real INT8 training quantises *every layer's* activations, not just the
+input; :func:`ste_quantize` snaps a tensor onto the INT8 grid in the
+forward pass while passing gradients through unchanged (the standard
+STE).  :func:`attach_activation_quant` retrofits a model so each
+Conv2d/Linear output is quantised with its own EMA-tracked scale, via
+the layers' explicit ``output_quant`` hook (state-dict keys unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import Conv2d, Linear, Module
+from ..nn.tensor import Tensor
+from .int8 import QuantConfig, dequantize, quantize
+from .observer import EmaObserver
+
+__all__ = ["ste_quantize", "ste_cast_fp16", "ActivationQuantizer",
+           "attach_activation_quant", "detach_activation_quant"]
+
+
+def ste_quantize(x: Tensor, scale: float, qmax: int) -> Tensor:
+    """Forward: snap to the INT8 grid; backward: identity gradient."""
+    out_data = dequantize(quantize(x.data, scale, qmax), scale)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def ste_cast_fp16(x: Tensor) -> Tensor:
+    """Forward: round-trip through IEEE float16; backward: identity."""
+    out_data = x.data.astype(np.float16).astype(np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+class ActivationQuantizer:
+    """Per-layer INT8 activation quantiser with an EMA-tracked scale."""
+
+    def __init__(self, config: QuantConfig):
+        self.config = config
+        self.observer = EmaObserver(config.qmax)
+
+    def __call__(self, out: Tensor) -> Tensor:
+        if self.config.float16:
+            return ste_cast_fp16(out)
+        self.observer.observe(out.data)
+        return ste_quantize(out, self.observer.scale, self.config.qmax)
+
+
+def attach_activation_quant(model: Module, config: QuantConfig) -> int:
+    """Give every Conv2d/Linear its own quantiser; returns the count."""
+    attached = 0
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            module.output_quant = ActivationQuantizer(config)
+            attached += 1
+    return attached
+
+
+def detach_activation_quant(model: Module) -> None:
+    for module in model.modules():
+        if isinstance(module, (Conv2d, Linear)):
+            module.output_quant = None

@@ -1,0 +1,124 @@
+"""The INT8 training loop wrapper (simulated NPU execution).
+
+:class:`Int8Trainer` drives a model exactly like FP32 SGD but forces
+the quantisation error sources of integer training:
+
+- the *forward/backward pass* runs on weights snapped to the INT8 grid
+  and on INT8-quantised inputs,
+- *gradients* are quantised (stochastically rounded, as NITI does)
+  before the update,
+- FP32 master weights absorb the updates, exactly like integer training
+  schemes keep higher-precision accumulators so that sub-grid updates
+  are not erased.
+
+This reproduces the error-accumulation behaviour the paper measures
+(Figure 4c: 5.94–8.25% accuracy drop at 32 SoCs) without integer-only
+kernels, which are irrelevant to the learning dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor, no_grad
+from ..nn import functional as F
+from .int8 import QuantConfig, fake_quantize
+from .observer import EmaObserver
+
+__all__ = ["Int8Trainer"]
+
+
+class Int8Trainer:
+    """Run SGD steps with INT8 fake-quantised weights/activations/grads."""
+
+    def __init__(self, model: Module, lr: float, config: QuantConfig,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 seed: int = 0, max_grad_norm: float | None = 2.0):
+        self.model = model
+        self.config = config
+        self.max_grad_norm = max_grad_norm
+        self.optimizer = SGD(model.parameters(), lr=lr, momentum=momentum,
+                             weight_decay=weight_decay)
+        self.rng = np.random.default_rng(seed)
+        self._input_observer = EmaObserver(config.qmax)
+        if config.quantize_activations:
+            from .ste import attach_activation_quant
+            attach_activation_quant(model, config)
+
+    # ------------------------------------------------------------------
+    def _quantized_weights(self) -> list[np.ndarray]:
+        """Snap weights onto the INT8 grid, returning the FP32 masters."""
+        masters: list[np.ndarray] = []
+        for param in self.model.parameters():
+            masters.append(param.data)
+            if self.config.quantize_weights:
+                param.data = fake_quantize(param.data, self.config)
+        return masters
+
+    def _restore_weights(self, masters: list[np.ndarray]) -> None:
+        for param, master in zip(self.model.parameters(), masters):
+            param.data = master
+
+    def _quantize_input(self, x: np.ndarray) -> np.ndarray:
+        if not self.config.quantize_activations:
+            return x
+        self._input_observer.observe(x)
+        return fake_quantize(x, self.config,
+                             scale=self._input_observer.scale)
+
+    # ------------------------------------------------------------------
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One SGD step on the INT8 path; returns the batch loss."""
+        self.model.train()
+        self.optimizer.zero_grad()
+        masters = self._quantized_weights()
+        x = Tensor(self._quantize_input(np.asarray(inputs, dtype=np.float32)))
+        logits = self.model(x)
+        loss = F.cross_entropy(logits, targets)
+        loss.backward()
+        self._restore_weights(masters)
+        if self.max_grad_norm is not None:
+            self._clip_gradients()
+        if self.config.quantize_gradients:
+            rng = self.rng if self.config.stochastic_rounding else None
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    param.grad = fake_quantize(param.grad, self.config,
+                                               rng=rng)
+        self.optimizer.step()
+        return loss.item()
+
+    def _clip_gradients(self) -> None:
+        """Global-norm gradient clipping: integer-training schemes bound
+        the gradient scale so quantisation noise cannot self-amplify."""
+        total = 0.0
+        grads = [p.grad for p in self.model.parameters() if p.grad is not None]
+        for grad in grads:
+            total += float(np.sum(grad.astype(np.float64) ** 2))
+        norm = np.sqrt(total)
+        if norm > self.max_grad_norm:
+            scale = self.max_grad_norm / norm
+            for grad in grads:
+                grad *= scale
+
+    def predict_logits(self, inputs: np.ndarray) -> np.ndarray:
+        """Inference logits through the quantised model."""
+        self.model.eval()
+        masters = self._quantized_weights()
+        try:
+            with no_grad():
+                x = Tensor(self._quantize_input(
+                    np.asarray(inputs, dtype=np.float32)))
+                return self.model(x).data
+        finally:
+            self._restore_weights(masters)
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.optimizer.lr = value

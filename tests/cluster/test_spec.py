@@ -1,0 +1,69 @@
+"""Hardware spec registry sanity."""
+
+import pytest
+
+from repro.cluster.spec import (GPU_REGISTRY, MODEL_PROFILES, SOC_REGISTRY,
+                                model_profile)
+
+
+class TestSocSpecs:
+    def test_sd865_matches_figure2(self):
+        soc = SOC_REGISTRY["sd865"]
+        assert soc.dram_gb == 12
+        assert soc.nic_bps == 1e9
+
+    def test_npu_faster_than_cpu(self):
+        for soc in SOC_REGISTRY.values():
+            assert soc.npu.flops > soc.cpu.flops
+
+    def test_npu_lower_power_than_cpu(self):
+        for soc in SOC_REGISTRY.values():
+            assert soc.npu.busy_watts < soc.cpu.busy_watts
+
+    def test_8gen1_faster_than_865(self):
+        assert (SOC_REGISTRY["sd8gen1"].npu.flops
+                > SOC_REGISTRY["sd865"].npu.flops)
+
+    def test_processor_accessor(self):
+        soc = SOC_REGISTRY["sd865"]
+        assert soc.processor("cpu") is soc.cpu
+        assert soc.processor("npu") is soc.npu
+        with pytest.raises(ValueError):
+            soc.processor("gpu")
+
+
+class TestModelProfiles:
+    def test_all_paper_models_profiled(self):
+        assert set(MODEL_PROFILES) == {"lenet5", "vgg11", "resnet18",
+                                       "resnet50", "mobilenet_v1",
+                                       "vit_tiny"}
+
+    def test_payload_scales_with_precision(self):
+        p = model_profile("vgg11")
+        assert p.payload_bytes("fp32") == 4 * p.params
+        assert p.payload_bytes("int8") == p.params
+        assert p.payload_bytes("fp16") == 2 * p.params
+
+    def test_measured_latency_ratio_matches_figure4a(self):
+        """VGG-11: 29.1 h CPU vs ~7.5 h NPU -> ~3.9x speedup."""
+        p = model_profile("vgg11")
+        ratio = p.t_cpu_sample_s / p.t_npu_sample_s
+        assert 3.0 <= ratio <= 5.0
+
+    def test_resnet18_much_slower_than_vgg11(self):
+        """Figure 4a: ResNet-18 takes ~8x longer end-to-end."""
+        vgg = model_profile("vgg11")
+        resnet = model_profile("resnet18")
+        assert resnet.t_cpu_sample_s > 5 * vgg.t_cpu_sample_s
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            model_profile("bert")
+
+
+class TestGpuSpecs:
+    def test_v100_and_a100_present(self):
+        assert {"v100", "a100"} <= set(GPU_REGISTRY)
+
+    def test_a100_faster_than_v100(self):
+        assert GPU_REGISTRY["a100"].flops > GPU_REGISTRY["v100"].flops

@@ -1,0 +1,70 @@
+"""Tidal trace: the Figure 3 phenomenon."""
+
+import pytest
+
+from repro.cluster import TidalTrace
+from repro.cluster.trace import IdleWindow
+
+
+class TestShape:
+    def test_peak_hours_busier_than_night(self):
+        trace = TidalTrace()
+        assert trace.busy_ratio(14.0) > 10 * trace.busy_ratio(4.0)
+
+    def test_order_of_magnitude_gap(self):
+        """Paper: midnight usage ~50x lower than peak."""
+        trace = TidalTrace()
+        ratio = trace.busy_ratio(14.0) / trace.busy_ratio(4.0)
+        assert 20 <= ratio <= 100
+
+    def test_average_utilization_low(self):
+        """Paper: average utilisation below ~20%."""
+        assert TidalTrace().average_utilization() < 0.30
+
+    def test_wraps_around_midnight(self):
+        trace = TidalTrace()
+        assert trace.busy_ratio(25.0) == pytest.approx(trace.busy_ratio(1.0))
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            TidalTrace(peak_busy=0.1, trough_busy=0.5)
+
+
+class TestSampling:
+    def test_sample_day_shapes_and_bounds(self):
+        hours, busy = TidalTrace(seed=3).sample_day(points_per_hour=2)
+        assert len(hours) == 48
+        assert busy.min() >= 0.0 and busy.max() <= 1.0
+
+    def test_seeded_noise_deterministic(self):
+        _, a = TidalTrace(seed=5).sample_day()
+        _, b = TidalTrace(seed=5).sample_day()
+        assert (a == b).all()
+
+
+class TestIdleWindows:
+    def test_overnight_window_exists(self):
+        """Paper: a typical idle frame of ~4 h (we find the overnight one)."""
+        window = TidalTrace().longest_idle_window(busy_threshold=0.25)
+        assert window.duration_hours >= 4.0
+        # the window covers the small hours
+        assert window.start_hour <= 4.0 <= window.end_hour
+
+    def test_windows_are_disjoint_and_ordered(self):
+        windows = TidalTrace().idle_windows(busy_threshold=0.25)
+        for first, second in zip(windows, windows[1:]):
+            assert first.end_hour <= second.start_hour
+
+    def test_high_threshold_gives_more_idle_time(self):
+        trace = TidalTrace()
+        low = sum(w.duration_hours for w in trace.idle_windows(0.1))
+        high = sum(w.duration_hours for w in trace.idle_windows(0.6))
+        assert high > low
+
+    def test_no_idle_below_trough_raises(self):
+        with pytest.raises(ValueError):
+            TidalTrace().longest_idle_window(busy_threshold=0.001)
+
+    def test_idle_window_validation(self):
+        with pytest.raises(ValueError):
+            IdleWindow(5.0, 4.0)

@@ -1,0 +1,108 @@
+"""Session simulator and training-event derivation (Figure 1's loop)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (ClusterTopology, Session, SessionSimulator,
+                           TidalTrace, derive_training_events)
+
+
+def simulator(seed=0, socs=60):
+    return SessionSimulator(ClusterTopology(num_socs=socs), seed=seed)
+
+
+class TestSession:
+    def test_end_hour(self):
+        assert Session(0, 10.0, 0.5).end_hour == 10.5
+
+
+class TestSimulation:
+    def test_daytime_much_busier_than_night(self):
+        sim = simulator()
+        sessions = sim.simulate_day()
+        _, busy = sim.busy_curve(sessions)
+        hours = np.arange(0.0, 24.0, 0.25)
+        day = busy[(hours >= 12) & (hours < 16)].mean()
+        night = busy[(hours >= 3) & (hours < 7)].mean()
+        assert day > 5 * max(night, 0.01)
+
+    def test_sessions_assigned_to_valid_socs(self):
+        sim = simulator(socs=10)
+        for session in sim.simulate_day():
+            assert 0 <= session.soc < 10
+            assert session.duration_hours > 0
+
+    def test_no_soc_runs_overlapping_sessions(self):
+        sim = simulator(socs=10)
+        sessions = sim.simulate_day()
+        by_soc: dict[int, list[Session]] = {}
+        for session in sessions:
+            by_soc.setdefault(session.soc, []).append(session)
+        for group in by_soc.values():
+            group.sort(key=lambda s: s.start_hour)
+            for a, b in zip(group, group[1:]):
+                assert a.end_hour <= b.start_hour + 1e-9
+
+    def test_deterministic(self):
+        a = simulator(seed=3).simulate_day()
+        b = simulator(seed=3).simulate_day()
+        assert a == b
+
+    def test_busy_socs_at(self):
+        sessions = [Session(0, 1.0, 2.0), Session(1, 5.0, 1.0)]
+        assert SessionSimulator.busy_socs_at(sessions, 2.0) == {0}
+        assert SessionSimulator.busy_socs_at(sessions, 5.5) == {1}
+        assert SessionSimulator.busy_socs_at(sessions, 10.0) == set()
+
+    def test_busy_curve_mirrors_trace_shape(self):
+        """The simulated curve correlates with the analytic trace."""
+        sim = simulator()
+        sessions = sim.simulate_day()
+        hours, busy = sim.busy_curve(sessions)
+        analytic = np.array([sim.trace.busy_ratio(h) for h in hours])
+        assert np.corrcoef(busy, analytic)[0, 1] > 0.7
+
+
+class TestEventDerivation:
+    def test_quiet_overnight_window_has_no_preemptions(self):
+        sessions = simulator().simulate_day()
+        events = derive_training_events(sessions, window_start_hour=23.0,
+                                        epoch_hours=0.5, max_epochs=8,
+                                        socs_per_group=4, idle_socs=32)
+        assert events == []
+
+    def test_morning_overrun_triggers_preemptions(self):
+        sessions = simulator().simulate_day()
+        events = derive_training_events(sessions, window_start_hour=5.0,
+                                        epoch_hours=0.5, max_epochs=12,
+                                        socs_per_group=4, idle_socs=32)
+        assert events
+        assert all(e.num_groups >= 1 for e in events)
+        # epochs strictly increase
+        epochs = [e.epoch for e in events]
+        assert epochs == sorted(epochs)
+
+    def test_never_claims_more_groups_than_exist(self):
+        sessions = simulator().simulate_day()
+        events = derive_training_events(sessions, window_start_hour=5.0,
+                                        epoch_hours=0.5, max_epochs=20,
+                                        socs_per_group=4, idle_socs=16)
+        assert sum(e.num_groups for e in events) <= 16 // 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            derive_training_events([], 0.0, 0.5, 4, 0, 16)
+        with pytest.raises(ValueError):
+            derive_training_events([], 0.0, 0.0, 4, 4, 16)
+
+    def test_events_feed_socflow(self, quick_config):
+        """End to end: derived events drive a real training run."""
+        from repro.core import SoCFlow, SoCFlowOptions
+        sessions = simulator().simulate_day()
+        events = derive_training_events(sessions, window_start_hour=5.0,
+                                        epoch_hours=0.5,
+                                        max_epochs=quick_config.max_epochs,
+                                        socs_per_group=4, idle_socs=32)
+        result = SoCFlow(SoCFlowOptions(events=tuple(events))).train(
+            quick_config)
+        assert result.epochs_run == quick_config.max_epochs

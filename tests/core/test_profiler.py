@@ -1,0 +1,45 @@
+"""Processor profiling (the real-measurement side of beta)."""
+
+import pytest
+
+from repro.core import ProcessorProfiler, ProfileResult
+
+
+class TestProfileResult:
+    def test_beta_semantics(self):
+        # NPU 4x faster -> it should receive 80% of the batch
+        result = ProfileResult(t_cpu_sample_s=0.4, t_npu_sample_s=0.1)
+        assert result.beta == pytest.approx(0.8)
+        assert result.npu_speedup == pytest.approx(4.0)
+
+
+class TestProfiler:
+    def test_measures_positive_latencies(self, quick_config):
+        profiler = ProcessorProfiler(quick_config, batch_size=8,
+                                     warmup_steps=1, timed_steps=2)
+        result = profiler.profile()
+        assert result.t_cpu_sample_s > 0
+        assert result.t_npu_sample_s > 0
+        assert 0.0 < result.beta < 1.0
+
+    def test_speedup_assumption_rescales(self, quick_config):
+        profiler = ProcessorProfiler(quick_config, batch_size=8,
+                                     warmup_steps=0, timed_steps=1,
+                                     npu_speedup_assumption=3.9)
+        result = profiler.profile()
+        assert result.npu_speedup == pytest.approx(3.9)
+        assert result.beta == pytest.approx(3.9 / 4.9, rel=1e-6)
+
+    def test_validation(self, quick_config):
+        with pytest.raises(ValueError):
+            ProcessorProfiler(quick_config, timed_steps=0)
+
+    def test_feeds_controller(self, quick_config):
+        from repro.quant.mixed import MixedPrecisionController
+        result = ProcessorProfiler(quick_config, batch_size=8,
+                                   warmup_steps=0, timed_steps=1,
+                                   npu_speedup_assumption=3.9).profile()
+        controller = MixedPrecisionController(result.t_cpu_sample_s,
+                                              result.t_npu_sample_s)
+        cpu, npu = controller.split_batch(64)
+        assert cpu + npu == 64

@@ -1,0 +1,73 @@
+"""Global scheduler: events, rebalancing, checkpoint costs."""
+
+import pytest
+
+from repro.cluster import ClusterTopology, NetworkFabric
+from repro.core import GlobalScheduler, PreemptionEvent, UnderclockEvent
+
+
+def scheduler(rebalance=True, events=()):
+    return GlobalScheduler(ClusterTopology(num_socs=20),
+                           rebalance=rebalance, events=list(events))
+
+
+class TestEvents:
+    def test_preemptions_filtered_by_epoch(self):
+        sched = scheduler(events=[PreemptionEvent(epoch=2),
+                                  PreemptionEvent(epoch=5, num_groups=2)])
+        assert len(sched.preemptions_at(2)) == 1
+        assert sched.preemptions_at(3) == []
+        assert sched.preemptions_at(5)[0].num_groups == 2
+
+    def test_underclock_validation(self):
+        with pytest.raises(ValueError):
+            UnderclockEvent(epoch=0, soc=1, factor=0.0)
+        with pytest.raises(ValueError):
+            UnderclockEvent(epoch=0, soc=1, factor=1.5)
+
+
+class TestUnderclocking:
+    def test_no_events_no_slowdown(self):
+        assert scheduler().group_slowdown([0, 1, 2]) == 1.0
+
+    def test_rebalanced_slowdown_is_harmonic(self):
+        sched = scheduler(events=[UnderclockEvent(0, soc=0, factor=0.5)])
+        sched.apply_underclocks(0)
+        # factors [0.5, 1, 1, 1] -> 4 / 3.5
+        assert sched.group_slowdown([0, 1, 2, 3]) == pytest.approx(4 / 3.5)
+
+    def test_straggler_without_rebalancing(self):
+        sched = scheduler(rebalance=False,
+                          events=[UnderclockEvent(0, soc=0, factor=0.5)])
+        sched.apply_underclocks(0)
+        assert sched.group_slowdown([0, 1, 2, 3]) == pytest.approx(2.0)
+
+    def test_rebalancing_always_at_least_as_fast(self):
+        events = [UnderclockEvent(0, soc=0, factor=0.25)]
+        with_rb = scheduler(rebalance=True, events=list(events))
+        without = scheduler(rebalance=False, events=list(events))
+        with_rb.apply_underclocks(0)
+        without.apply_underclocks(0)
+        group = [0, 1, 2, 3, 4]
+        assert with_rb.group_slowdown(group) <= without.group_slowdown(group)
+
+    def test_event_applies_only_from_its_epoch(self):
+        sched = scheduler(events=[UnderclockEvent(3, soc=0, factor=0.5)])
+        sched.apply_underclocks(1)
+        assert sched.group_slowdown([0, 1]) == 1.0
+        sched.apply_underclocks(3)
+        assert sched.group_slowdown([0, 1]) > 1.0
+
+
+class TestCosts:
+    def test_checkpoint_time_scales_with_model(self):
+        small = GlobalScheduler.checkpoint_seconds(1e6)
+        large = GlobalScheduler.checkpoint_seconds(1e8)
+        assert large == pytest.approx(100 * small)
+
+    def test_dispatch_covers_all_socs(self):
+        sched = scheduler()
+        fabric = NetworkFabric(sched.topology)
+        t = sched.dispatch_seconds(fabric, model_bytes=1e7,
+                                   data_bytes_per_soc=1e7)
+        assert t > 0

@@ -1,0 +1,92 @@
+"""Dirichlet non-IID partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (dirichlet_partition, iid_partition,
+                        label_distribution, skewness)
+
+
+def labelled_data(n=400, classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, classes, size=n).astype(np.int64)
+    x = rng.standard_normal((n, 2)).astype(np.float32)
+    return x, y
+
+
+class TestDirichlet:
+    def test_partition_is_complete(self):
+        x, y = labelled_data()
+        parts = dirichlet_partition(x, y, 8, alpha=0.5, seed=0)
+        assert sum(len(p) for p in parts) == len(x)
+
+    def test_no_empty_parts(self):
+        x, y = labelled_data(n=60)
+        parts = dirichlet_partition(x, y, 16, alpha=0.05, seed=0)
+        assert all(len(p) >= 1 for p in parts)
+
+    def test_small_alpha_skews_more(self):
+        x, y = labelled_data(n=2000)
+        skew_low = skewness(dirichlet_partition(x, y, 8, alpha=0.05,
+                                                seed=1), 5)
+        skew_high = skewness(dirichlet_partition(x, y, 8, alpha=100.0,
+                                                 seed=1), 5)
+        assert skew_low > skew_high + 0.15
+
+    def test_huge_alpha_approaches_iid(self):
+        x, y = labelled_data(n=2000)
+        dirichlet = skewness(dirichlet_partition(x, y, 4, alpha=1000.0,
+                                                 seed=2), 5)
+        iid = skewness(iid_partition(x, y, 4, seed=2), 5)
+        assert abs(dirichlet - iid) < 0.1
+
+    def test_deterministic(self):
+        x, y = labelled_data()
+        a = dirichlet_partition(x, y, 4, alpha=0.5, seed=3)
+        b = dirichlet_partition(x, y, 4, alpha=0.5, seed=3)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa.y, pb.y)
+
+    def test_validation(self):
+        x, y = labelled_data(n=20)
+        with pytest.raises(ValueError):
+            dirichlet_partition(x, y, 0)
+        with pytest.raises(ValueError):
+            dirichlet_partition(x, y, 2, alpha=0.0)
+
+    @given(st.integers(1, 12), st.floats(0.05, 10.0), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_any_configuration_partitions_fully(self, parts, alpha, seed):
+        x, y = labelled_data(n=100, seed=seed)
+        partition = dirichlet_partition(x, y, parts, alpha=alpha, seed=seed)
+        assert sum(len(p) for p in partition) == 100
+        assert all(len(p) >= 1 for p in partition)
+
+
+class TestMetrics:
+    def test_label_distribution_sums_to_one(self):
+        x, y = labelled_data()
+        part = dirichlet_partition(x, y, 2, seed=0)[0]
+        dist = label_distribution(part, 5)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_skewness_zero_for_identical_shards(self):
+        x = np.zeros((10, 1), dtype=np.float32)
+        y = np.array([0, 1] * 5, dtype=np.int64)
+        from repro.data import ArrayDataset
+        shards = [ArrayDataset(x[:5], np.array([0, 1, 0, 1, 0])),
+                  ArrayDataset(x[5:], np.array([0, 1, 0, 1, 0]))]
+        assert skewness(shards, 2) < 0.11
+
+
+class TestNonIidFedAvg:
+    def test_noniid_hurts_fedavg(self, quick_config):
+        """The classic FL result: label skew slows convergence."""
+        from dataclasses import replace
+        from repro.distributed import FedAvg
+        config = replace(quick_config, max_epochs=3)
+        iid = FedAvg().train(config)
+        skewed = FedAvg(partition_alpha=0.1).train(config)
+        # weaker-or-equal accuracy under heavy skew (allow small noise)
+        assert skewed.best_accuracy <= iid.best_accuracy + 0.08

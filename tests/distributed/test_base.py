@@ -1,0 +1,91 @@
+"""Shared strategy machinery: cost model, evaluation, config."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import CostModel, RunConfig, evaluate_accuracy, make_model
+from repro.distributed.base import fp32_train_step
+from repro.nn.optim import SGD
+
+
+class TestCostModel:
+    def test_steps_per_epoch(self, quick_config):
+        cost = CostModel(quick_config)
+        assert cost.steps_per_epoch == -(-50_000 // 64)
+
+    def test_compute_seconds_uses_measured_latency(self, quick_config):
+        cost = CostModel(quick_config)
+        # vgg11 pinned at 140 ms/sample on the SD865 CPU
+        assert cost.compute_seconds(10, "cpu") == pytest.approx(1.4)
+        assert cost.compute_seconds(10, "npu") == pytest.approx(0.36)
+
+    def test_unmeasured_model_extrapolates_from_flops(self, quick_config):
+        from dataclasses import replace
+        config = replace(quick_config, model_name="lenet5")
+        cost = CostModel(config)
+        soc = config.topology.soc
+        expected = 1.3e7 / soc.cpu.flops
+        assert cost.compute_seconds(1, "cpu") == pytest.approx(expected)
+
+    def test_grad_bytes_fp32(self, quick_config):
+        cost = CostModel(quick_config)
+        assert cost.grad_bytes == 4 * 9_228_362
+
+    def test_update_seconds_memory_bound(self, quick_config):
+        cost = CostModel(quick_config)
+        soc = quick_config.topology.soc
+        assert cost.update_seconds() == pytest.approx(
+            16 * 9_228_362 / soc.mem_bps)
+
+    def test_charge_step_overlap_hides_sync(self, quick_config):
+        cost = CostModel(quick_config)
+        cost.charge_step(compute_s=10.0, sync_s=1.0, num_socs=4)
+        # 0.3 * 10 = 3 > 1 -> sync fully hidden from the wall clock
+        assert cost.clock.phase_totals["compute"] == 10.0
+        wall_sync = cost.clock.now - 10.0 - cost.update_seconds()
+        assert wall_sync == pytest.approx(0.0, abs=1e-9)
+        # but still attributed as busy network time
+        assert cost.clock.phase_totals["sync"] == pytest.approx(1.0)
+
+
+class TestEvaluation:
+    def test_perfect_and_zero_accuracy(self, tiny_task, quick_config):
+        model = make_model(quick_config)
+        acc = evaluate_accuracy(model, tiny_task.x_test, tiny_task.y_test)
+        assert 0.0 <= acc <= 1.0
+
+    def test_training_step_reduces_loss(self, tiny_task, quick_config):
+        model = make_model(quick_config)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        x, y = tiny_task.x_train[:32], tiny_task.y_train[:32]
+        first = fp32_train_step(model, opt, x, y)
+        for _ in range(10):
+            last = fp32_train_step(model, opt, x, y)
+        assert last < first
+
+
+class TestRunConfig:
+    def test_model_kwargs_reflect_task(self, quick_config):
+        kwargs = quick_config.model_kwargs()
+        assert kwargs["num_classes"] == quick_config.task.num_classes
+        assert kwargs["in_channels"] == quick_config.task.input_shape[0]
+
+    def test_seed_offset_changes_init(self, quick_config):
+        a = make_model(quick_config, seed_offset=0)
+        b = make_model(quick_config, seed_offset=1)
+        assert not np.allclose(a.parameters()[0].data,
+                               b.parameters()[0].data)
+
+    def test_init_state_loaded(self, quick_config):
+        from dataclasses import replace
+        donor = make_model(quick_config, seed_offset=3)
+        config = replace(quick_config, init_state=donor.state_dict())
+        clone = make_model(config)
+        np.testing.assert_array_equal(clone.parameters()[0].data,
+                                      donor.parameters()[0].data)
+
+    def test_freeze_without_support_raises(self, quick_config):
+        from dataclasses import replace
+        config = replace(quick_config, freeze_backbone=True)
+        with pytest.raises(ValueError, match="freez"):
+            make_model(config)

@@ -1,0 +1,48 @@
+"""Stale-synchronous parallel extension baseline."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.distributed import StaleSynchronous, build_strategy
+
+
+class TestConstruction:
+    def test_registry_entry(self):
+        strategy = build_strategy("ssp")
+        assert isinstance(strategy, StaleSynchronous)
+
+    def test_invalid_staleness(self):
+        with pytest.raises(ValueError):
+            StaleSynchronous(staleness=0)
+
+
+class TestTraining:
+    def test_learns_above_chance(self, quick_config):
+        config = replace(quick_config, max_epochs=3)
+        result = StaleSynchronous(staleness=4).train(config)
+        assert result.best_accuracy > 1.0 / quick_config.task.num_classes
+        assert result.extra["staleness"] == 4
+
+    def test_more_staleness_less_sync_time(self, quick_config):
+        config = replace(quick_config, max_epochs=1)
+        tight = StaleSynchronous(staleness=1).train(config)
+        loose = StaleSynchronous(staleness=16).train(config)
+        assert loose.breakdown["sync"] < tight.breakdown["sync"]
+        assert loose.sim_time_s < tight.sim_time_s
+
+    def test_interpolates_between_ps_and_fedavg(self, quick_config):
+        """staleness=1 syncs like PS every step; large staleness
+        approaches FedAvg's per-epoch communication volume."""
+        config = replace(quick_config, max_epochs=1)
+        ps = build_strategy("ps").train(config)
+        fed = build_strategy("fedavg").train(config)
+        mid = StaleSynchronous(staleness=8).train(config)
+        assert fed.breakdown["sync"] < mid.breakdown["sync"] < \
+            ps.breakdown["sync"]
+
+    def test_deterministic(self, quick_config):
+        config = replace(quick_config, max_epochs=2)
+        a = StaleSynchronous(staleness=4).train(config)
+        b = StaleSynchronous(staleness=4).train(config)
+        assert a.accuracy_history == b.accuracy_history

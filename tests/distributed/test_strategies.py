@@ -1,0 +1,157 @@
+"""Baseline strategies: learning behaviour and cost orderings."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.distributed import (STRATEGY_REGISTRY, FedAvg, HiPress,
+                               LocalSingleSoC, ParameterServer,
+                               RingAllReduce, TreeFedAvg, TwoDParallel,
+                               build_strategy)
+
+
+@pytest.fixture(scope="module")
+def results(tiny_task):
+    """Train every baseline once on the shared quick config."""
+    from repro.cluster import ClusterTopology
+    from repro.distributed import RunConfig
+    config = RunConfig(
+        task=tiny_task, model_name="vgg11", width=0.15, batch_size=16,
+        lr=0.05, momentum=0.9, max_epochs=3, seed=0,
+        topology=ClusterTopology(num_socs=32),
+        sim_samples_per_epoch=50_000, sim_global_batch=64, num_groups=8)
+    return {name: build_strategy(name).train(config)
+            for name in STRATEGY_REGISTRY}
+
+
+class TestRegistry:
+    def test_all_six_baselines_plus_local_and_ssp(self):
+        assert set(STRATEGY_REGISTRY) == {"local", "ps", "ring", "hipress",
+                                          "2d_paral", "ssp", "fedavg",
+                                          "t_fedavg"}
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            build_strategy("allreduce9000")
+
+
+class TestLearning:
+    def test_every_strategy_learns_above_chance(self, results, tiny_task):
+        chance = 1.0 / tiny_task.num_classes
+        for name, result in results.items():
+            assert result.best_accuracy > chance, name
+
+    def test_ssgd_strategies_agree_on_accuracy(self, results):
+        """PS / RING / 2D compute identical updates (Table 3 agreement)."""
+        assert results["ps"].accuracy_history == \
+            results["ring"].accuracy_history == \
+            results["2d_paral"].accuracy_history
+
+    def test_fedavg_variants_agree(self, results):
+        assert results["fedavg"].accuracy_history == \
+            results["t_fedavg"].accuracy_history
+
+    def test_all_report_requested_epochs(self, results):
+        assert all(r.epochs_run == 3 for r in results.values())
+
+
+class TestCostOrderings:
+    def test_ps_is_slowest_dml(self, results):
+        """Observation #2 / Figure 8: PS incast is the worst."""
+        assert results["ps"].sim_time_s > results["ring"].sim_time_s
+        assert results["ps"].sim_time_s > results["hipress"].sim_time_s
+        assert results["ps"].sim_time_s > results["2d_paral"].sim_time_s
+
+    def test_compression_beats_plain_ring(self, results):
+        assert results["hipress"].sim_time_s < results["ring"].sim_time_s
+
+    def test_fl_rounds_cheap_per_epoch(self, results):
+        """FedAvg syncs once per epoch -> far less wall time per epoch."""
+        assert results["fedavg"].sim_time_s < results["ring"].sim_time_s
+
+    def test_tree_aggregation_no_slower_than_flat_fedavg(self, results):
+        assert (results["t_fedavg"].sim_time_s
+                <= results["fedavg"].sim_time_s * 1.001)
+
+    def test_sync_dominates_ring(self, results):
+        """Figure 12: RING spends ~80% of busy time in sync."""
+        assert results["ring"].phase_shares()["sync"] > 0.6
+
+    def test_fedavg_compute_dominated(self, results):
+        assert results["fedavg"].phase_shares()["compute"] > 0.6
+
+    def test_energy_positive_and_ps_worst(self, results):
+        dml = ["ps", "ring", "hipress", "2d_paral"]
+        assert all(results[n].energy.total_j > 0 for n in dml)
+        assert results["ps"].energy.total_j == max(
+            results[n].energy.total_j for n in dml)
+
+
+class TestLocal:
+    def test_local_runs_on_one_soc(self, results):
+        # energy must be charged for a single SoC, not the fleet
+        assert results["local"].energy.total_j < \
+            results["ring"].energy.total_j
+
+    def test_npu_local_faster_than_cpu_local(self, tiny_task, quick_config):
+        config = replace(quick_config, max_epochs=1)
+        cpu = LocalSingleSoC(processor="cpu").train(config)
+        npu = LocalSingleSoC(processor="npu").train(config)
+        assert npu.sim_time_s < cpu.sim_time_s
+
+    def test_invalid_processor_raises(self):
+        with pytest.raises(ValueError):
+            LocalSingleSoC(processor="tpu")
+
+
+class TestTargetTracking:
+    def test_epochs_to_target_recorded(self, tiny_task, quick_config):
+        config = replace(quick_config, max_epochs=4, target_accuracy=0.05)
+        result = RingAllReduce().train(config)
+        assert result.converged
+        assert result.epochs_to_target == 1
+        assert result.time_to_target_s() == pytest.approx(
+            result.sim_time_s / 4)
+
+    def test_unreachable_target(self, quick_config):
+        config = replace(quick_config, max_epochs=1, target_accuracy=1.01)
+        result = RingAllReduce().train(config)
+        assert not result.converged
+        assert result.time_to_target_s() is None
+
+
+class TestHiPressInternals:
+    def test_warmup_schedule(self):
+        strategy = HiPress(compression_ratio=0.01)
+        strategy.on_epoch_begin(0)
+        assert strategy.compressor.ratio == 0.25
+        strategy.on_epoch_begin(5)
+        assert strategy.compressor.ratio == 0.01
+
+    def test_gradients_actually_sparsified(self, quick_config):
+        strategy = HiPress(compression_ratio=0.01)
+        strategy.on_epoch_begin(10)
+        result = strategy.train(replace(quick_config, max_epochs=1))
+        assert result.epochs_run == 1
+
+
+class TestTwoDInternals:
+    def test_groups_partition(self, quick_config):
+        from repro.distributed.base import CostModel
+        strategy = TwoDParallel()
+        cost = CostModel(quick_config)
+        groups = strategy._groups(cost)
+        assert len(groups) == quick_config.num_groups
+        flat = [s for g in groups for s in g]
+        assert len(flat) == len(set(flat))
+
+    def test_pipeline_bubble_shrinks_compute(self, quick_config):
+        from repro.distributed.base import CostModel
+        from repro.distributed.ring_allreduce import RingAllReduce
+        cost = CostModel(quick_config)
+        two_d = TwoDParallel().step_compute_seconds(cost)
+        flat = RingAllReduce().step_compute_seconds(cost)
+        # pipeline splits the model across 4 SoCs; even with the bubble
+        # and activation traffic it beats one SoC doing the whole model
+        assert two_d < flat * 4

@@ -1,0 +1,65 @@
+"""Harness: workloads, presets, run-config assembly."""
+
+import pytest
+
+from repro.harness import (SCALE_PRESETS, WORKLOADS, make_run_config,
+                           prepare_task)
+
+
+class TestWorkloads:
+    def test_all_table3_rows_present(self):
+        assert set(WORKLOADS) == {
+            "mobilenet", "vgg11", "resnet18", "vgg11_celeba",
+            "resnet18_celeba", "lenet5_emnist", "lenet5_fmnist",
+            "resnet50_finetune"}
+
+    def test_mobilenet_uses_batch_256(self):
+        assert WORKLOADS["mobilenet"].sim_global_batch == 256
+        assert WORKLOADS["vgg11"].sim_global_batch == 64
+
+    def test_transfer_workload_flags(self):
+        assert WORKLOADS["resnet50_finetune"].transfer_from == "cinic10"
+
+
+class TestPresets:
+    def test_presets_ordered_by_size(self):
+        quick = SCALE_PRESETS["quick"]
+        bench = SCALE_PRESETS["bench"]
+        full = SCALE_PRESETS["full"]
+        assert quick.data_scale < bench.data_scale < full.data_scale
+        assert quick.max_epochs <= bench.max_epochs <= full.max_epochs
+
+
+class TestMakeRunConfig:
+    def test_sim_fields_stay_at_paper_scale(self):
+        config = make_run_config("vgg11", "quick", num_socs=32)
+        assert config.sim_samples_per_epoch == 50_000
+        assert config.sim_global_batch == 64
+        # while the real task is small
+        assert len(config.task.x_train) < 5_000
+
+    def test_topology_size(self):
+        config = make_run_config("vgg11", "quick", num_socs=16)
+        assert config.topology.num_socs == 16
+
+    def test_lenet_gets_grayscale_task(self):
+        config = make_run_config("lenet5_emnist", "quick")
+        assert config.task.input_shape[0] == 1
+        assert config.task.num_classes == 47
+
+    def test_max_epochs_override(self):
+        config = make_run_config("vgg11", "quick", max_epochs=1)
+        assert config.max_epochs == 1
+
+    def test_transfer_config_pretrained_and_frozen(self):
+        config = make_run_config("resnet50_finetune", "quick")
+        assert config.init_state is not None
+        assert config.freeze_backbone
+
+    def test_prepare_task_deterministic(self):
+        workload = WORKLOADS["vgg11"]
+        preset = SCALE_PRESETS["quick"]
+        import numpy as np
+        a = prepare_task(workload, preset, seed=3)
+        b = prepare_task(workload, preset, seed=3)
+        np.testing.assert_array_equal(a.x_train, b.x_train)

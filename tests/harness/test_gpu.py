@@ -1,0 +1,37 @@
+"""GPU cost model for the Figure 11 comparison."""
+
+import pytest
+
+from repro.harness import gpu_energy_kj, gpu_training_time_s
+
+
+class TestTime:
+    def test_a100_faster_than_v100(self):
+        v = gpu_training_time_s("v100", "vgg11", 10, 50_000)
+        a = gpu_training_time_s("a100", "vgg11", 10, 50_000)
+        assert a < v
+
+    def test_scales_with_epochs(self):
+        one = gpu_training_time_s("v100", "vgg11", 1, 50_000)
+        ten = gpu_training_time_s("v100", "vgg11", 10, 50_000)
+        assert ten == pytest.approx(10 * one, rel=1e-6)
+
+    def test_small_model_pays_real_overhead(self):
+        """Per-step launch overhead is a visible share of LeNet time."""
+        t = gpu_training_time_s("v100", "lenet5", 1, 60_000, batch_size=64)
+        overhead = (60_000 / 64) * 0.004
+        assert overhead / t > 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gpu_training_time_s("v100", "vgg11", 0, 100)
+
+
+class TestEnergy:
+    def test_watts_times_seconds(self):
+        assert gpu_energy_kj("v100", 1000.0) == pytest.approx(300.0)
+        assert gpu_energy_kj("a100", 1000.0) == pytest.approx(400.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gpu_energy_kj("v100", -1.0)

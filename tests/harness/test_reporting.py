@@ -1,0 +1,30 @@
+"""Text table rendering."""
+
+from repro.harness import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "value"], [["vgg11", 1.5], ["r18", 20]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000123], [12345.6], [1.5]])
+        assert "0.000123" in out
+        assert "1.23e+04" in out or "12345" in out.replace(",", "")
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_series_header_and_rows(self):
+        out = format_series("fig4b", [4, 8], [1.0, 2.0],
+                            x_label="socs", y_label="latency")
+        assert out.startswith("[fig4b]")
+        assert "socs" in out and "latency" in out
+        assert "4" in out and "8" in out

@@ -1,0 +1,154 @@
+"""Numeric gradient checks: analytic backward vs central differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def numeric_grad(f, x0: np.ndarray, index, eps: float = 1e-3) -> float:
+    xp = x0.copy()
+    xp[index] += eps
+    xm = x0.copy()
+    xm[index] -= eps
+    return (f(xp) - f(xm)) / (2 * eps)
+
+
+def analytic_grad(f_tensor, x0: np.ndarray, index) -> float:
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = f_tensor(x)
+    (out * out).sum().backward()
+    return float(x.grad[index])
+
+
+def check(op, x0, index, rtol=3e-2, atol=1e-3):
+    def scalar(arr):
+        out = op(Tensor(arr)).numpy()
+        return float((out * out).sum())
+    num = numeric_grad(scalar, x0, index)
+    ana = analytic_grad(op, x0, index)
+    assert ana == pytest.approx(num, rel=rtol, abs=atol)
+
+
+RNG = np.random.default_rng(42)
+X_IMG = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+W_CONV = (0.2 * RNG.standard_normal((4, 3, 3, 3))).astype(np.float32)
+W_DW = (0.2 * RNG.standard_normal((3, 1, 3, 3))).astype(np.float32)
+
+
+class TestConvGradients:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_conv_input_grad(self, stride, padding):
+        w = Tensor(W_CONV)
+        check(lambda t: F.conv2d(t, w, stride=stride, padding=padding),
+              X_IMG, (0, 1, 4, 4))
+
+    def test_conv_weight_grad(self):
+        x = Tensor(X_IMG)
+
+        def scalar(warr):
+            out = F.conv2d(x, Tensor(warr), padding=1).numpy()
+            return float((out * out).sum())
+
+        w = Tensor(W_CONV.copy(), requires_grad=True)
+        out = F.conv2d(x, w, padding=1)
+        (out * out).sum().backward()
+        idx = (2, 1, 0, 2)
+        assert float(w.grad[idx]) == pytest.approx(
+            numeric_grad(scalar, W_CONV, idx), rel=3e-2)
+
+    def test_conv_bias_grad(self):
+        x = Tensor(X_IMG)
+        w = Tensor(W_CONV)
+        b = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        out = F.conv2d(x, w, b, padding=1)
+        out.sum().backward()
+        # bias gradient = count of spatial x batch positions
+        np.testing.assert_allclose(b.grad, np.full(4, 2 * 8 * 8), rtol=1e-5)
+
+    def test_depthwise_input_grad(self):
+        w = Tensor(W_DW)
+        check(lambda t: F.conv2d(t, w, padding=1, groups=3),
+              X_IMG, (1, 2, 3, 3))
+
+    def test_grouped_weight_grad(self):
+        x = Tensor(X_IMG)
+        w0 = (0.2 * RNG.standard_normal((6, 1, 3, 3))).astype(np.float32)
+
+        def scalar(warr):
+            out = F.conv2d(x, Tensor(warr), padding=1, groups=3).numpy()
+            return float((out * out).sum())
+
+        w = Tensor(w0.copy(), requires_grad=True)
+        (F.conv2d(x, w, padding=1, groups=3) ** 2).sum().backward()
+        idx = (4, 0, 1, 1)
+        assert float(w.grad[idx]) == pytest.approx(
+            numeric_grad(scalar, w0, idx), rel=3e-2)
+
+
+class TestPoolingGradients:
+    def test_maxpool_grad(self):
+        # Distinct, small-magnitude values so argmax is stable under the
+        # epsilon bump and float32 keeps resolution in the squared sum.
+        x = 0.01 * np.arange(2 * 3 * 8 * 8, dtype=np.float32).reshape(
+            2, 3, 8, 8)
+        check(lambda t: F.max_pool2d(t, 2), x, (0, 1, 3, 3))
+
+    def test_avgpool_grad(self):
+        check(lambda t: F.avg_pool2d(t, 2), X_IMG, (0, 2, 5, 5))
+
+    def test_global_avgpool_grad(self):
+        check(lambda t: F.global_avg_pool2d(t), X_IMG, (1, 0, 2, 2))
+
+
+class TestNormalizationAndLoss:
+    def test_batchnorm_train_grad(self):
+        weight = Tensor(np.ones(3, dtype=np.float32))
+        bias = Tensor(np.zeros(3, dtype=np.float32))
+        # Project through a fixed random tensor: sum(bn(x)^2) is nearly
+        # constant (normalised output), so the raw check is degenerate.
+        proj = Tensor(RNG.standard_normal(X_IMG.shape).astype(np.float32))
+
+        def op(t):
+            out = F.batch_norm(t, weight, bias, np.zeros(3, np.float32),
+                               np.ones(3, np.float32), training=True)
+            return out * proj
+
+        check(op, X_IMG, (0, 1, 2, 2), rtol=5e-2, atol=5e-3)
+
+    def test_log_softmax_grad(self):
+        x0 = RNG.standard_normal((4, 7)).astype(np.float32)
+        check(lambda t: F.log_softmax(t), x0, (1, 3))
+
+    def test_cross_entropy_grad_matches_softmax_minus_onehot(self):
+        x0 = RNG.standard_normal((3, 5)).astype(np.float32)
+        targets = np.array([0, 2, 4])
+        x = Tensor(x0, requires_grad=True)
+        F.cross_entropy(x, targets).backward()
+        soft = np.exp(x0 - x0.max(1, keepdims=True))
+        soft /= soft.sum(1, keepdims=True)
+        expected = soft.copy()
+        expected[np.arange(3), targets] -= 1.0
+        expected /= 3.0
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-4, atol=1e-6)
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_grad_any_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        a0 = rng.standard_normal((3, 4)).astype(np.float32)
+        b = Tensor(rng.standard_normal((4, 2)).astype(np.float32))
+        idx = (rng.integers(0, 3), rng.integers(0, 4))
+        check(lambda t: t @ b, a0, idx)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_elementwise_chain_any_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        x0 = (0.5 + rng.random((4, 4))).astype(np.float32)  # positive for log
+        idx = (rng.integers(0, 4), rng.integers(0, 4))
+        check(lambda t: (t.log() + t.sqrt()).sigmoid(), x0, idx)

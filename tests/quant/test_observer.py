@@ -1,0 +1,46 @@
+"""Range observer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.quant import EmaObserver, MinMaxObserver
+
+
+class TestMinMax:
+    def test_default_scale_before_observation(self):
+        assert MinMaxObserver(127).scale == 1.0
+
+    def test_tracks_running_peak(self):
+        obs = MinMaxObserver(127)
+        obs.observe(np.array([0.5]))
+        obs.observe(np.array([-2.0]))
+        obs.observe(np.array([1.0]))
+        assert obs.scale == pytest.approx(2.0 / 127)
+
+    def test_never_shrinks(self):
+        obs = MinMaxObserver(127)
+        obs.observe(np.array([4.0]))
+        obs.observe(np.array([0.1]))
+        assert obs.scale == pytest.approx(4.0 / 127)
+
+
+class TestEma:
+    def test_first_observation_sets_scale(self):
+        obs = EmaObserver(127, momentum=0.9)
+        obs.observe(np.array([1.27]))
+        assert obs.scale == pytest.approx(0.01)
+
+    def test_ema_update(self):
+        obs = EmaObserver(127, momentum=0.5)
+        obs.observe(np.array([2.0]))
+        obs.observe(np.array([4.0]))
+        assert obs.scale == pytest.approx(3.0 / 127)
+
+    def test_zero_signal_safe(self):
+        obs = EmaObserver(127)
+        obs.observe(np.zeros(4))
+        assert obs.scale == 1.0
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            EmaObserver(127, momentum=1.0)

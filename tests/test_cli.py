@@ -1,0 +1,77 @@
+"""CLI: argument parsing and command outputs."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "imagenet"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "socflow"
+        assert args.socs == 32
+
+
+class TestListCommand:
+    def test_lists_everything(self):
+        code, output = run_cli(["list"])
+        assert code == 0
+        assert "socflow" in output
+        assert "vgg11" in output
+        assert "quick" in output
+
+
+class TestTraceCommand:
+    def test_prints_trace_and_window(self):
+        code, output = run_cli(["trace", "--threshold", "0.25"])
+        assert code == 0
+        assert "longest idle window" in output
+        assert "busy" in output
+
+
+class TestRunCommand:
+    def test_run_lenet_quick(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "1", "--socs", "16"])
+        assert code == 0
+        assert "socflow" in output
+        assert "accuracy per epoch" in output
+
+    def test_run_baseline(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "fedavg",
+            "--epochs", "1", "--socs", "8"])
+        assert code == 0
+        assert "fedavg" in output
+
+
+class TestCompareCommand:
+    def test_compare_two_methods(self):
+        code, output = run_cli([
+            "compare", "--workload", "lenet5_fmnist",
+            "--methods", "ring,socflow", "--epochs", "1", "--socs", "8"])
+        assert code == 0
+        assert "ring" in output and "socflow" in output
+
+    def test_unknown_method_fails_cleanly(self):
+        code, _ = run_cli([
+            "compare", "--workload", "lenet5_fmnist",
+            "--methods", "warpdrive", "--epochs", "1"])
+        assert code == 2

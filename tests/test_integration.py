@@ -1,0 +1,99 @@
+"""Cross-module integration: the paper's headline claims, end to end.
+
+These run the full pipeline (harness -> strategies -> cost model) at the
+quick scale and assert the *shape* of the paper's results: who wins, in
+what order, with sane breakdowns.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import SoCFlow, SoCFlowOptions
+from repro.distributed import build_strategy
+from repro.harness import make_run_config
+
+
+@pytest.fixture(scope="module")
+def showdown():
+    """SoCFlow vs the key baselines on the same quick workload."""
+    config = make_run_config("vgg11", "quick", num_socs=32, num_groups=8,
+                             max_epochs=3)
+    results = {name: build_strategy(name).train(config)
+               for name in ["ps", "ring", "hipress", "2d_paral", "fedavg"]}
+    results["socflow"] = SoCFlow().train(config)
+    return config, results
+
+
+class TestHeadlineClaims:
+    def test_socflow_fastest_per_epoch(self, showdown):
+        """Figure 8: SoCFlow beats every baseline's wall time."""
+        _, results = showdown
+        socflow = results["socflow"].sim_time_s
+        for name in ["ps", "ring", "hipress", "2d_paral"]:
+            assert socflow < results[name].sim_time_s, name
+
+    def test_speedup_vs_ring_at_least_5x(self, showdown):
+        """Paper: 14.8-143x vs RING; our per-epoch model must show a
+        large factor too."""
+        _, results = showdown
+        ratio = results["ring"].sim_time_s / results["socflow"].sim_time_s
+        assert ratio > 5
+
+    def test_speedup_vs_ps_larger_than_vs_ring(self, showdown):
+        _, results = showdown
+        socflow = results["socflow"].sim_time_s
+        assert (results["ps"].sim_time_s / socflow
+                > results["ring"].sim_time_s / socflow)
+
+    def test_socflow_energy_below_dml_baselines(self, showdown):
+        """Figure 9."""
+        _, results = showdown
+        for name in ["ps", "ring", "2d_paral"]:
+            assert (results["socflow"].energy.total_j
+                    < results[name].energy.total_j), name
+
+    def test_all_strategies_trained_for_real(self, showdown):
+        config, results = showdown
+        chance = 1.0 / config.task.num_classes
+        for name, result in results.items():
+            assert result.best_accuracy >= chance * 0.8, name
+
+    def test_breakdown_ordering_fig12(self, showdown):
+        """RING sync share > SoCFlow sync share > FedAvg sync share."""
+        _, results = showdown
+        ring = results["ring"].phase_shares()["sync"]
+        ours = results["socflow"].phase_shares()["sync"]
+        fed = results["fedavg"].phase_shares()["sync"]
+        assert ring > ours > fed
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        config = make_run_config("lenet5_fmnist", "quick", num_socs=16,
+                                 num_groups=4, max_epochs=2)
+        a = SoCFlow().train(config)
+        b = SoCFlow().train(replace(config))
+        assert a.accuracy_history == b.accuracy_history
+        assert a.energy.total_j == b.energy.total_j
+
+
+class TestScalabilityShape:
+    def test_more_socs_less_time_for_socflow(self):
+        """Figure 10: SoCFlow scales with the SoC count."""
+        times = {}
+        for socs, groups in [(8, 2), (32, 8)]:
+            config = make_run_config("vgg11", "quick", num_socs=socs,
+                                     num_groups=groups, max_epochs=2)
+            times[socs] = SoCFlow().train(config).sim_time_s
+        assert times[32] < times[8]
+
+    def test_ring_scales_poorly(self):
+        """Observation #2: RING gains little from 8 -> 32 SoCs."""
+        times = {}
+        for socs in (8, 32):
+            config = make_run_config("vgg11", "quick", num_socs=socs,
+                                     max_epochs=2)
+            times[socs] = build_strategy("ring").train(config).sim_time_s
+        socflow_gain = None  # documented in the scalability bench
+        assert times[32] > 0.5 * times[8]  # nowhere near 4x speedup
