@@ -1,0 +1,128 @@
+"""Extension: fault injection and recovery (ext-4).
+
+The headline scenario kills 4 of 32 SoCs at epoch 1 and flaps one PCB
+NIC mid-run.  SoCFlow rolls back to the last merged checkpoint,
+re-forms groups over the survivors and finishes within 2 accuracy
+points of the fault-free run, while the fail-stop baselines abort on
+the first dead SoC.  A second scenario shrinks the group count
+(heavier losses) and a sweep shows the simulated-time cost growing
+with the crash count.
+
+The group-size arithmetic behind the headline scenario: 7 groups at
+32 SoCs means group size 4, so losing 4 SoCs leaves 28 survivors and
+Eq. 1 re-selects exactly 7 groups — the data sharding (and hence the
+learning dynamics) is conserved through the recovery.
+"""
+
+from conftest import EPOCHS, print_block
+
+from repro.cluster import FaultSchedule, NicDegradation, SoCCrash
+from repro.core import SoCFlow, SoCFlowOptions
+from repro.distributed import build_strategy
+from repro.harness import format_table, make_run_config
+
+WORKLOAD = "vgg11"
+SOCS = 32
+GROUPS = 7          # group size 4: killing 4 SoCs preserves the count
+
+
+def headline_schedule():
+    """4 crashed SoCs at epoch 1 plus one PCB NIC flap at epoch 2."""
+    crashes = tuple(SoCCrash(1, s) for s in (4, 5, 6, 7))
+    flap = NicDegradation(2, pcb=2, multiplier=0.25, recover_epoch=3)
+    return FaultSchedule(crashes + (flap,))
+
+
+def config_with(schedule, fault_mode="fail-stop", epochs=EPOCHS):
+    return make_run_config(WORKLOAD, "quick", num_socs=SOCS,
+                           num_groups=GROUPS, max_epochs=epochs,
+                           fault_schedule=schedule, fault_mode=fault_mode)
+
+
+def test_socflow_survives_what_failstop_aborts(benchmark):
+    def compute():
+        clean = SoCFlow(SoCFlowOptions()).train(config_with(None))
+        faulted = SoCFlow(SoCFlowOptions()).train(
+            config_with(headline_schedule()))
+        baselines = {m: build_strategy(m).train(
+            config_with(headline_schedule())) for m in ("ring", "ps")}
+        return clean, faulted, baselines
+
+    clean, faulted, baselines = benchmark.pedantic(compute, rounds=1,
+                                                   iterations=1)
+    rows = [["socflow (fault-free)", "completed",
+             round(100 * clean.final_accuracy, 1), clean.epochs_run],
+            ["socflow (4 dead + NIC flap)", "recovered",
+             round(100 * faulted.final_accuracy, 1), faulted.epochs_run]]
+    for method, result in baselines.items():
+        rows.append([f"{method} (fail-stop)",
+                     "ABORTED" if result.extra["aborted"] else "completed",
+                     round(100 * result.final_accuracy, 1),
+                     result.epochs_run])
+    print_block("ext-4: 4-of-32 SoCs killed + one PCB NIC flap",
+                format_table(["run", "outcome", "final_acc_pct", "epochs"],
+                             rows))
+
+    # SoCFlow recovers: full epoch budget, accuracy within 2 points
+    assert faulted.extra["aborted"] is False
+    assert faulted.epochs_run == clean.epochs_run == EPOCHS
+    assert len(faulted.extra["recoveries"]) == 1
+    assert faulted.extra["final_num_groups"] == GROUPS
+    assert abs(faulted.final_accuracy - clean.final_accuracy) <= 0.02
+    # recovery is not free: rollback + degraded links cost simulated time
+    assert faulted.sim_time_s > clean.sim_time_s
+    assert faulted.extra["network_retries"] > 0
+    # the fail-stop baselines die on the first dead SoC
+    for result in baselines.values():
+        assert result.extra["aborted"] is True
+        assert result.extra["abort_epoch"] == 1
+        assert result.epochs_run < EPOCHS
+
+
+def test_heavy_losses_shrink_groups_but_finish(benchmark):
+    def compute():
+        crashes = tuple(SoCCrash(1, s) for s in range(12))
+        return SoCFlow(SoCFlowOptions()).train(
+            config_with(FaultSchedule(crashes)))
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_block("ext-4: 12-of-32 SoCs killed (group count shrinks)",
+                format_table(["groups_after", "final_acc_pct", "epochs"],
+                             [[result.extra["final_num_groups"],
+                               round(100 * result.final_accuracy, 1),
+                               result.epochs_run]]))
+    # 20 survivors at group size 4 -> Eq. 1 re-selects 5 groups
+    assert result.extra["final_num_groups"] == 5
+    assert result.extra["aborted"] is False
+    assert result.epochs_run == EPOCHS
+    assert result.final_accuracy > 0.15
+
+
+def test_fault_sweep_costs_grow_with_crash_count(benchmark):
+    def compute():
+        runs = {}
+        for crashes in (0, 2, 4, 8):
+            schedule = (FaultSchedule(tuple(SoCCrash(1, s)
+                                            for s in range(crashes)))
+                        if crashes else None)
+            runs[crashes] = SoCFlow(SoCFlowOptions()).train(
+                config_with(schedule))
+        return runs
+
+    runs = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [[crashes, result.extra.get("final_num_groups", GROUPS),
+             round(100 * result.final_accuracy, 1),
+             round(result.sim_time_hours, 4)]
+            for crashes, result in runs.items()]
+    print_block("ext-4 sweep: crash count vs groups / accuracy / hours",
+                format_table(["crashes", "groups", "final_acc_pct",
+                              "hours"], rows))
+
+    for crashes, result in runs.items():
+        assert result.epochs_run == EPOCHS, crashes
+    # dead SoCs never make the simulated run cheaper, and losses heavy
+    # enough to shrink the group count cost strictly more
+    times = [runs[c].sim_time_s for c in (0, 2, 4, 8)]
+    assert all(t >= times[0] for t in times[1:])
+    assert times[3] > times[0]
+    assert runs[8].extra["final_num_groups"] < GROUPS

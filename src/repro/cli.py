@@ -7,12 +7,21 @@ Commands
 ``list``      show available workloads, methods, presets and models
 ``trace``     print the tidal utilisation trace and idle windows
 
+``run``/``compare`` accept ``--faults SPEC`` to inject unplanned
+faults: semicolon-separated clauses like
+``crash:epoch=1,soc=3``, ``flap:epoch=2,pcb=0,mult=0.2,until=4``,
+``straggler:epoch=1,soc=7,factor=0.5``, ``storm:epoch=3,groups=2`` or
+``random:seed=7,epochs=8,crashes=4,flaps=1``.  ``--fault-mode``
+selects how *baselines* react (``fail-stop`` aborts, ``continue``
+keeps the survivors); SoCFlow always recovers.
+
 Examples
 --------
 ::
 
     python -m repro.cli list
     python -m repro.cli run --workload vgg11 --method socflow --socs 32
+    python -m repro.cli run --workload vgg11 --faults "crash:epoch=1,soc=3"
     python -m repro.cli compare --workload resnet18 --methods ring,socflow
     python -m repro.cli trace --threshold 0.25
 """
@@ -22,7 +31,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .cluster import TidalTrace
+from .cluster import (ClusterTopology, FaultSpecError, TidalTrace,
+                      parse_fault_spec)
 from .core import SoCFlow, SoCFlowOptions
 from .distributed import STRATEGY_REGISTRY, build_strategy
 from .harness import SCALE_PRESETS, WORKLOADS, format_table, make_run_config
@@ -65,13 +75,32 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--groups", type=int, default=None)
     parser.add_argument("--epochs", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault-injection spec, e.g. "
+                             "'crash:epoch=1,soc=3;flap:epoch=2,pcb=0,"
+                             "mult=0.2,until=4'")
+    parser.add_argument("--fault-mode", default="fail-stop",
+                        choices=("fail-stop", "continue"),
+                        help="baseline reaction to dead SoCs "
+                             "(SoCFlow always recovers)")
 
 
-def _train(args, method: str):
+def _parse_faults(args):
+    """Parse ``--faults``; raises FaultSpecError on malformed specs."""
+    if args.faults is None:
+        return None
+    return parse_fault_spec(args.faults,
+                            ClusterTopology(num_socs=args.socs))
+
+
+def _train(args, method: str, fault_schedule=None):
     groups = args.groups or max(2, args.socs // 4)
     config = make_run_config(args.workload, args.preset,
                              num_socs=args.socs, num_groups=groups,
-                             max_epochs=args.epochs, seed=args.seed)
+                             max_epochs=args.epochs, seed=args.seed,
+                             fault_schedule=fault_schedule,
+                             fault_mode=getattr(args, "fault_mode",
+                                                "fail-stop"))
     if method == "socflow":
         return SoCFlow(SoCFlowOptions()).train(config)
     return build_strategy(method).train(config)
@@ -88,12 +117,39 @@ def _result_row(method: str, result) -> list:
 _HEADERS = ["method", "best_acc", "sim_hours", "energy_kJ", "sync_share"]
 
 
+def _fault_summary(result) -> str:
+    if result.extra.get("aborted"):
+        return (f"faults: run ABORTED at epoch "
+                f"{result.extra['abort_epoch']} "
+                f"(dead SoCs: {result.extra['dead_socs']})")
+    recoveries = result.extra.get("recoveries", [])
+    if "all_dead_epoch" in result.extra:
+        parts = [f"faults: every SoC dead at epoch "
+                 f"{result.extra['all_dead_epoch']}; stopped with "
+                 f"{len(recoveries)} recovery step(s)"]
+    else:
+        parts = [f"faults: completed with {len(recoveries)} "
+                 f"recovery step(s)"]
+    for r in recoveries:
+        parts.append(f"  epoch {r['epoch']}: dead={r['dead_socs']} "
+                     f"-> {r['num_groups']} groups "
+                     f"(rolled back to epoch {r['rolled_back_to']})")
+    return "\n".join(parts)
+
+
 def cmd_run(args, out) -> int:
-    result = _train(args, args.method)
+    try:
+        fault_schedule = _parse_faults(args)
+    except FaultSpecError as err:
+        print(f"bad --faults spec: {err}", file=sys.stderr)
+        return 2
+    result = _train(args, args.method, fault_schedule)
     print(format_table(_HEADERS, [_result_row(args.method, result)]),
           file=out)
     print("accuracy per epoch: "
           + " ".join(f"{a:.2f}" for a in result.accuracy_history), file=out)
+    if fault_schedule is not None:
+        print(_fault_summary(result), file=out)
     return 0
 
 
@@ -103,7 +159,13 @@ def cmd_compare(args, out) -> int:
     if unknown:
         print(f"unknown methods: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    rows = [_result_row(m, _train(args, m)) for m in methods]
+    try:
+        fault_schedule = _parse_faults(args)
+    except FaultSpecError as err:
+        print(f"bad --faults spec: {err}", file=sys.stderr)
+        return 2
+    rows = [_result_row(m, _train(args, m, fault_schedule))
+            for m in methods]
     print(format_table(_HEADERS, rows), file=out)
     return 0
 

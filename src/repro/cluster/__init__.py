@@ -11,12 +11,17 @@ machine as a calibrated performance model:
 - :mod:`energy` — busy/idle power accounting.
 - :mod:`trace` — diurnal (tidal) utilisation traces and idle windows.
 - :mod:`clock` — simulated wall clock with per-phase accounting.
+- :mod:`faults` — seeded unplanned-fault injection (crashes, NIC
+  flaps, stragglers, preemption storms).
 """
 
 from .spec import (GPU_REGISTRY, SOC_REGISTRY, GpuSpec, ModelProfile,
                    ProcessorSpec, SoCSpec, model_profile)
 from .topology import ClusterTopology
 from .network import Flow, NetworkFabric
+from .faults import (FaultInjector, FaultSchedule, FaultSpecError,
+                     NicDegradation, PreemptionStorm, SoCCrash,
+                     StragglerFault, parse_fault_spec)
 from .energy import EnergyModel, EnergyReport
 from .trace import TidalTrace, IdleWindow
 from .workload import Session, SessionSimulator, derive_training_events
@@ -30,4 +35,6 @@ __all__ = [
     "Session", "SessionSimulator", "derive_training_events",
     "EdgeSite", "WanFabric",
     "PhaseClock",
+    "FaultInjector", "FaultSchedule", "FaultSpecError", "NicDegradation",
+    "PreemptionStorm", "SoCCrash", "StragglerFault", "parse_fault_spec",
 ]

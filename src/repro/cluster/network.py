@@ -60,13 +60,51 @@ class NetworkFabric:
     """
 
     def __init__(self, topology: ClusterTopology,
-                 num_tensors: int | None = None):
+                 num_tensors: int | None = None,
+                 retry_policy: "RetryPolicy | None" = None):
+        from ..comm.primitives import RetryPolicy
         self.topology = topology
         if num_tensors is None:
             self.startup_per_soc_s = topology.startup_per_soc_s
         else:
             self.startup_per_soc_s = (STARTUP_BASE_S
                                       + STARTUP_PER_TENSOR_S * num_tensors)
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: pcb -> bandwidth multiplier for degraded/flapping PCB NICs
+        self._pcb_multipliers: dict[int, float] = {}
+        #: cumulative timed-out attempts charged (observability/tests)
+        self.total_retries = 0
+
+    # ------------------------------------------------------------------
+    # Link degradation (fault injection)
+    # ------------------------------------------------------------------
+    def set_pcb_multiplier(self, pcb: int, multiplier: float) -> None:
+        """Run PCB ``pcb``'s shared NIC at ``multiplier`` of nominal."""
+        if not 0 <= pcb < self.topology.num_pcbs:
+            raise ValueError(f"PCB id {pcb} out of range "
+                             f"[0, {self.topology.num_pcbs})")
+        if not 0.0 < multiplier <= 1.0:
+            raise ValueError("multiplier must be in (0, 1]")
+        if multiplier == 1.0:
+            self._pcb_multipliers.pop(pcb, None)
+        else:
+            self._pcb_multipliers[pcb] = multiplier
+
+    def apply_pcb_multipliers(self, multipliers: dict[int, float]) -> None:
+        """Replace all degradations (an epoch's NIC state in one call)."""
+        self._pcb_multipliers.clear()
+        for pcb, multiplier in multipliers.items():
+            self.set_pcb_multiplier(pcb, multiplier)
+
+    def reset_degradations(self) -> None:
+        self._pcb_multipliers.clear()
+
+    def pcb_multiplier(self, pcb: int) -> float:
+        return self._pcb_multipliers.get(pcb, 1.0)
+
+    @property
+    def degraded_pcbs(self) -> dict[int, float]:
+        return dict(self._pcb_multipliers)
 
     # ------------------------------------------------------------------
     # Core primitive
@@ -101,7 +139,8 @@ class NetworkFabric:
         if link.startswith("soc:"):
             return topo.soc.nic_bps
         if link.startswith("pcb:"):
-            return topo.pcb_nic_bps
+            multiplier = self._pcb_multipliers.get(int(link[4:]), 1.0)
+            return topo.pcb_nic_bps * multiplier
         if link == "switch":
             return topo.switch_bps
         if link == "ctrl":
@@ -109,7 +148,12 @@ class NetworkFabric:
         raise ValueError(f"unknown link {link!r}")
 
     def transfer_time(self, flows: Iterable[Flow]) -> float:
-        """Seconds for all ``flows`` to complete, running simultaneously."""
+        """Seconds for all ``flows`` to complete, running simultaneously.
+
+        Transfers crossing a degraded PCB NIC additionally pay the
+        timeout/retry penalty of :class:`~repro.comm.primitives.RetryPolicy`
+        for the worst link involved.
+        """
         load: dict[tuple[str, str], float] = {}
         any_flow = False
         for flow in flows:
@@ -122,7 +166,17 @@ class NetworkFabric:
             return 0.0
         worst = max(8.0 * nbytes / self._bandwidth(link)
                     for (link, _), nbytes in load.items())
-        return worst + self.topology.hop_latency_s
+        penalty = 0.0
+        if self._pcb_multipliers:
+            worst_mult = min(
+                (self._pcb_multipliers.get(int(link[4:]), 1.0)
+                 for (link, _) in load if link.startswith("pcb:")),
+                default=1.0)
+            retries = self.retry_policy.retries_for(worst_mult)
+            if retries:
+                penalty = self.retry_policy.penalty_seconds(retries)
+                self.total_retries += retries
+        return worst + penalty + self.topology.hop_latency_s
 
     # ------------------------------------------------------------------
     # Collectives

@@ -5,9 +5,11 @@ package holds the *data* side: state averaging used by every strategy,
 and the deep-gradient-compression (DGC) sparsifier HiPress builds on.
 """
 
-from .primitives import (average_states, weighted_average_states,
-                         state_l2_distance, zeros_like_state)
+from .primitives import (RetryPolicy, average_states,
+                         weighted_average_states, state_l2_distance,
+                         zeros_like_state)
 from .compression import DgcCompressor, SparseGradient
 
-__all__ = ["average_states", "weighted_average_states", "state_l2_distance",
-           "zeros_like_state", "DgcCompressor", "SparseGradient"]
+__all__ = ["RetryPolicy", "average_states", "weighted_average_states",
+           "state_l2_distance", "zeros_like_state", "DgcCompressor",
+           "SparseGradient"]

@@ -1,17 +1,66 @@
-"""State-dict arithmetic shared by all aggregation schemes."""
+"""State-dict arithmetic shared by all aggregation schemes, plus the
+timeout/retry policy collectives apply over degraded links."""
 
 from __future__ import annotations
 
 import math
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 StateDict = "OrderedDict[str, np.ndarray]"
 
-__all__ = ["average_states", "weighted_average_states", "state_l2_distance",
-           "zeros_like_state"]
+__all__ = ["RetryPolicy", "average_states", "weighted_average_states",
+           "state_l2_distance", "zeros_like_state"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry with exponential backoff for degraded links.
+
+    A transfer crossing a PCB NIC running at a bandwidth multiplier at
+    or below ``degraded_threshold`` starts missing its transport
+    timeout; the sender retries with exponentially growing backoff.
+    The model is deterministic: the number of timed-out attempts grows
+    with the severity of the degradation (halving the bandwidth again
+    costs one more retry), capped at ``max_retries``.
+    """
+
+    timeout_s: float = 1.0
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    max_retries: int = 5
+    degraded_threshold: float = 0.5
+
+    def __post_init__(self):
+        if self.timeout_s < 0 or self.backoff_base_s < 0:
+            raise ValueError("timeout and backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0.0 < self.degraded_threshold <= 1.0:
+            raise ValueError("degraded_threshold must be in (0, 1]")
+
+    def retries_for(self, multiplier: float) -> int:
+        """Timed-out attempts for a link at ``multiplier`` of nominal."""
+        if multiplier >= 1.0 or multiplier > self.degraded_threshold:
+            return 0
+        if multiplier <= 0.0:
+            return self.max_retries
+        severity = self.degraded_threshold / multiplier
+        return min(self.max_retries, 1 + int(math.floor(math.log2(severity))))
+
+    def penalty_seconds(self, retries: int) -> float:
+        """Wall-time cost of ``retries`` timed-out attempts + backoffs."""
+        retries = min(retries, self.max_retries)
+        if retries <= 0:
+            return 0.0
+        backoff = sum(self.backoff_base_s * self.backoff_factor ** k
+                      for k in range(retries))
+        return retries * self.timeout_s + backoff
 
 
 def average_states(states: Sequence[dict]) -> "OrderedDict[str, np.ndarray]":

@@ -15,7 +15,7 @@
 """
 
 from .grouping import (GroupSizeSelector, epoch_time_model,
-                       first_epoch_accuracy_profile)
+                       first_epoch_accuracy_profile, survivor_group_count)
 from .mapping import (MappingResult, integrity_greedy_mapping, naive_mapping,
                       nic_conflict_count, contention_degree)
 from .planning import CommunicationPlan, build_conflict_graph, divide_into_cgs
@@ -28,6 +28,7 @@ from .socflow import SoCFlow, SoCFlowOptions, build_socflow
 
 __all__ = [
     "GroupSizeSelector", "epoch_time_model", "first_epoch_accuracy_profile",
+    "survivor_group_count",
     "MappingResult", "integrity_greedy_mapping", "naive_mapping",
     "nic_conflict_count", "contention_degree",
     "CommunicationPlan", "build_conflict_graph", "divide_into_cgs",

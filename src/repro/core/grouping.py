@@ -19,7 +19,26 @@ from dataclasses import dataclass
 from ..distributed.base import CostModel, RunConfig
 
 __all__ = ["epoch_time_model", "first_epoch_accuracy_profile",
-           "GroupSizeSelector"]
+           "GroupSizeSelector", "survivor_group_count"]
+
+
+def survivor_group_count(num_alive: int, prev_num_groups: int,
+                         prev_num_socs: int) -> int:
+    """Re-run Eq. 1's group sizing after SoCs die (or rejoin).
+
+    The warm-up heuristic established that groups of size
+    ``prev_num_socs / prev_num_groups`` are accuracy-admissible; Eq. 1
+    is monotone decreasing in N, so the fastest admissible choice on
+    the shrunken cluster is the largest N that keeps the group size at
+    or above that bound: ``floor(num_alive / group_size)``, clamped to
+    at least one group and at most one group per survivor.
+    """
+    if num_alive <= 0:
+        raise ValueError("need at least one surviving SoC")
+    if prev_num_groups <= 0 or prev_num_socs <= 0:
+        raise ValueError("previous group count and SoC count must be positive")
+    group_size = max(1, prev_num_socs // prev_num_groups)
+    return max(1, min(num_alive // group_size, num_alive, prev_num_groups))
 
 
 def epoch_time_model(num_samples: int, num_groups: int, group_batch: int,

@@ -68,13 +68,38 @@ def _group_sizes(num_socs: int, num_groups: int) -> list[int]:
     return [base + (1 if g < remainder else 0) for g in range(num_groups)]
 
 
-def integrity_greedy_mapping(topology: ClusterTopology,
-                             num_groups: int) -> MappingResult:
-    """The paper's mapping algorithm (optimal C, contention degree ≤ 2)."""
-    if not 1 <= num_groups <= topology.num_socs:
-        raise ValueError(f"need 1 <= num_groups <= {topology.num_socs}")
-    sizes = _group_sizes(topology.num_socs, num_groups)
-    free_on_pcb = {p: list(topology.socs_on_pcb(p))
+def _available_socs(topology: ClusterTopology,
+                    alive: "set[int] | list[int] | None") -> list[int]:
+    if alive is None:
+        return list(range(topology.num_socs))
+    available = sorted(set(alive))
+    if not available:
+        raise ValueError("no surviving SoCs to map groups onto")
+    for s in available:
+        topology.pcb_of(s)                      # range-checks the SoC id
+    return available
+
+
+def integrity_greedy_mapping(topology: ClusterTopology, num_groups: int,
+                             alive: "set[int] | list[int] | None" = None
+                             ) -> MappingResult:
+    """The paper's mapping algorithm (optimal C, contention degree ≤ 2).
+
+    ``alive`` restricts placement to the surviving SoCs after faults:
+    groups are sized over the survivors and both phases skip dead
+    chips.  On a holey survivor set the whole-group phase can strand
+    PCB fragments whose sizes happen to align with a contiguous
+    layout's group boundaries, so when ``alive`` is given the result is
+    compared against the contiguous layout and the lower-conflict one
+    wins (ties keep the greedy; contiguous layouts also satisfy the
+    Theorem 2 contention bound, so both theorems survive the choice).
+    """
+    available = _available_socs(topology, alive)
+    if not 1 <= num_groups <= len(available):
+        raise ValueError(f"need 1 <= num_groups <= {len(available)}")
+    sizes = _group_sizes(len(available), num_groups)
+    alive_set = set(available)
+    free_on_pcb = {p: [s for s in topology.socs_on_pcb(p) if s in alive_set]
                    for p in range(topology.num_pcbs)}
     placed: dict[int, list[int]] = {}
 
@@ -99,19 +124,26 @@ def integrity_greedy_mapping(topology: ClusterTopology,
         placed[g] = leftovers[cursor:cursor + sizes[g]]
         cursor += sizes[g]
 
-    return MappingResult([placed[g] for g in range(num_groups)], topology)
+    result = MappingResult([placed[g] for g in range(num_groups)], topology)
+    if alive is not None:
+        contiguous = naive_mapping(topology, num_groups, alive=alive)
+        if contiguous.conflict_count() < result.conflict_count():
+            return contiguous
+    return result
 
 
-def naive_mapping(topology: ClusterTopology,
-                  num_groups: int) -> MappingResult:
+def naive_mapping(topology: ClusterTopology, num_groups: int,
+                  alive: "set[int] | list[int] | None" = None
+                  ) -> MappingResult:
     """Sequential blocks with no integrity phase (the ablation baseline)."""
-    if not 1 <= num_groups <= topology.num_socs:
-        raise ValueError(f"need 1 <= num_groups <= {topology.num_socs}")
-    sizes = _group_sizes(topology.num_socs, num_groups)
+    available = _available_socs(topology, alive)
+    if not 1 <= num_groups <= len(available):
+        raise ValueError(f"need 1 <= num_groups <= {len(available)}")
+    sizes = _group_sizes(len(available), num_groups)
     groups: list[list[int]] = []
     cursor = 0
     for size in sizes:
-        groups.append(list(range(cursor, cursor + size)))
+        groups.append(available[cursor:cursor + size])
         cursor += size
     return MappingResult(groups, topology)
 

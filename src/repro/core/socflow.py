@@ -13,6 +13,16 @@ Every sub-technique is individually switchable for the Figure 13
 ablation: ``grouping`` (vs one flat ring), ``mapping``
 (integrity-greedy vs naive), ``planning`` (CG schedule vs concurrent),
 ``mixed`` (CPU+NPU vs CPU only).
+
+Resilience: when the run config carries a
+:class:`~repro.cluster.faults.FaultSchedule`, the scheduler surfaces
+dead SoCs at every epoch boundary; SoCFlow rolls the cluster back to
+the last merged checkpoint, re-runs Eq. 1 group sizing, the
+integrity-greedy mapping and CG planning over the survivors, rebuilds
+the logical groups, and keeps training — paying a priced recovery step
+instead of aborting.  NIC degradations flow into the network fabric
+(ring all-reduces slow down and pay timeout/retry backoff) and
+persistent stragglers fold into the underclock rebalancing.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from ..distributed.base import (CostModel, RunConfig, Strategy,
                                 StrategyResult, evaluate_accuracy)
 from ..quant.int8 import QuantConfig
 from ..quant.mixed import MixedPrecisionController
+from .grouping import survivor_group_count
 from .mapping import MappingResult, integrity_greedy_mapping, naive_mapping
 from .mixed_precision import GroupMixedTrainer
 from .planning import CommunicationPlan
@@ -78,12 +89,18 @@ class SoCFlow(Strategy):
     # ------------------------------------------------------------------
     # Topology decisions
     # ------------------------------------------------------------------
-    def _build_mapping(self, config: RunConfig) -> MappingResult:
-        num_groups = config.num_groups if self.options.grouping else 1
-        num_groups = max(1, min(num_groups, config.topology.num_socs))
+    def _build_mapping(self, config: RunConfig,
+                       alive: "set[int] | None" = None,
+                       num_groups: int | None = None) -> MappingResult:
+        available = (config.topology.num_socs if alive is None
+                     else len(alive))
+        if num_groups is None:
+            num_groups = config.num_groups if self.options.grouping else 1
+        num_groups = max(1, min(num_groups, available))
         if self.options.mapping == "integrity":
-            return integrity_greedy_mapping(config.topology, num_groups)
-        return naive_mapping(config.topology, num_groups)
+            return integrity_greedy_mapping(config.topology, num_groups,
+                                            alive=alive)
+        return naive_mapping(config.topology, num_groups, alive=alive)
 
     # ------------------------------------------------------------------
     def select_group_size(self, config: RunConfig) -> tuple[int, dict]:
@@ -117,7 +134,8 @@ class SoCFlow(Strategy):
         plan = CommunicationPlan.from_mapping(mapping)
         scheduler = GlobalScheduler(config.topology,
                                     rebalance=options.rebalance,
-                                    events=list(options.events))
+                                    events=list(options.events),
+                                    fault_schedule=config.fault_schedule)
 
         mixed = options.mixed and options.precision == "mixed"
         controller = MixedPrecisionController(cost.t_cpu_sample,
@@ -143,8 +161,24 @@ class SoCFlow(Strategy):
         if options.resume and options.checkpoint_path is not None:
             start_epoch = self._try_resume(options.checkpoint_path, groups,
                                            controller, history, config)
+        #: rollback anchor: the last globally-merged state (and its epoch)
+        last_good: tuple[dict, int] = (groups[0].state_dict(), -1)
+        current_dead: set[int] = set()
+        recoveries: list[dict] = []
         for epoch in range(start_epoch, config.max_epochs):
             scheduler.apply_underclocks(epoch)
+            dead = scheduler.apply_faults(epoch, cost.fabric)
+            if dead != current_dead:
+                survivors = [s for s in range(config.topology.num_socs)
+                             if s not in dead]
+                if not survivors:
+                    state["all_dead_epoch"] = epoch
+                    break
+                mapping, plan, groups = self._recover(
+                    config, controller, groups, dead, survivors, last_good,
+                    cost, scheduler, recoveries, epoch)
+                preempted = min(preempted, len(groups) - 1)
+                current_dead = dead
             for event in scheduler.preemptions_at(epoch):
                 preempted = self._handle_preemption(
                     event, groups, preempted, cost, model_bytes)
@@ -169,6 +203,7 @@ class SoCFlow(Strategy):
             merged = average_states([g.state_dict() for g in active])
             for group in active:
                 group.load_state(merged)
+            last_good = (merged, epoch)
             if mixed and options.fixed_alpha is None:
                 controller.update_alpha(
                     *self._profile_logits(active[0], val_x))
@@ -193,6 +228,15 @@ class SoCFlow(Strategy):
         }
         if group_size_profile is not None:
             extra["group_size_profile"] = group_size_profile
+        if config.fault_schedule is not None:
+            extra["aborted"] = False
+            if "all_dead_epoch" in state:
+                extra["all_dead_epoch"] = state["all_dead_epoch"]
+            extra["recoveries"] = recoveries
+            extra["final_num_groups"] = mapping.num_groups
+            extra["final_groups"] = [list(g) for g in mapping.groups]
+            extra["dead_socs"] = sorted(current_dead)
+            extra["network_retries"] = cost.fabric.total_retries
         extra["final_state"] = groups[0].state_dict()
         return self._result(self.name, config, cost, history, state, extra)
 
@@ -252,10 +296,12 @@ class SoCFlow(Strategy):
                       scheduler: GlobalScheduler, mixed: bool) -> None:
         """Advance the simulated clock for one full-scale epoch."""
         options = self.options
-        topo = config.topology
         n = mapping.num_groups
+        # SoCs actually hosting groups this epoch (survivors only, when
+        # faults shrank the cluster).
+        num_active_socs = sum(len(socs) for socs in mapping.groups)
         # BS_g samples per group-step, spread over the group's M/N SoCs.
-        per_soc_samples = config.sim_global_batch * n / topo.num_socs
+        per_soc_samples = config.sim_global_batch * n / num_active_socs
 
         if options.precision == "int8":
             cpu_n, npu_n = 0.0, per_soc_samples
@@ -297,11 +343,11 @@ class SoCFlow(Strategy):
         cost.clock.attribute(steps * hidden, "sync")
         cost.clock.advance(steps * update_s, "update")
         cost.energy.charge_mixed(steps * cpu_busy, steps * npu_busy,
-                                 steps * compute_s, topo.num_socs)
-        cost.energy.charge_network(steps * sync_s, topo.num_socs)
-        cost.energy.charge_network(steps * hidden, topo.num_socs,
+                                 steps * compute_s, num_active_socs)
+        cost.energy.charge_network(steps * sync_s, num_active_socs)
+        cost.energy.charge_network(steps * hidden, num_active_socs,
                                    include_idle=False)
-        cost.energy.charge_compute(steps * update_s, topo.num_socs, 1.0)
+        cost.energy.charge_compute(steps * update_s, num_active_socs, 1.0)
 
         # Epoch tail: one unhidden intra-group sync + the leader ring
         # (delayed aggregation) — "the extra delay of SoCFlow is only one
@@ -310,7 +356,7 @@ class SoCFlow(Strategy):
         leaders = [socs[0] for socs in mapping.groups]
         inter = (cost.fabric.ring_allreduce_time(leaders, payload)
                  if len(leaders) > 1 else 0.0)
-        cost.charge_epoch_sync(sum(tail) + inter, topo.num_socs)
+        cost.charge_epoch_sync(sum(tail) + inter, num_active_socs)
 
     @staticmethod
     def _try_resume(path: str, groups: list[GroupMixedTrainer],
@@ -342,6 +388,51 @@ class SoCFlow(Strategy):
         # writing to UFS happens off the critical path on every SoC,
         # but the leader's write is charged once per epoch
         cost.clock.advance(checkpoint.write_seconds(), "update")
+
+    def _recover(self, config: RunConfig, controller,
+                 groups: list[GroupMixedTrainer], dead: set[int],
+                 survivors: list[int], last_good: tuple[dict, int],
+                 cost: CostModel, scheduler: GlobalScheduler,
+                 recoveries: list[dict], epoch: int):
+        """Roll back and re-form groups after the dead set changes.
+
+        Eq. 1 group sizing and the mapping/CG planning re-run on the
+        shrunken (or re-grown) survivor set, and the recovery step is
+        charged to the clock.  Only the *weights* roll back to the last
+        merged checkpoint: the surviving trainers are reused so their
+        warm runtime state (optimizer momentum, INT8 calibration RNG)
+        carries across the recovery instead of resetting — rebuilding
+        from scratch measurably stalls the mixed-precision path.
+        """
+        base_groups = config.num_groups if self.options.grouping else 1
+        num_groups = survivor_group_count(
+            len(survivors), base_groups, config.topology.num_socs)
+        mapping = self._build_mapping(config, alive=set(survivors),
+                                      num_groups=num_groups)
+        plan = CommunicationPlan.from_mapping(mapping)
+        groups = groups[:num_groups]
+        for g in range(len(groups), num_groups):    # SoCs rejoined
+            trainer = GroupMixedTrainer(config, controller,
+                                        self.options.quant, seed_offset=g,
+                                        mixed=groups[0].mixed)
+            if self.options.precision == "int8":
+                trainer.train_batch = _int8_only_step(trainer)  # type: ignore
+            groups.append(trainer)
+        rollback_state, rollback_epoch = last_good
+        for group in groups:
+            group.load_state(rollback_state)
+        recovery_s = scheduler.recovery_seconds(cost.grad_bytes, cost.fabric,
+                                                survivors)
+        cost.clock.advance(recovery_s, "sync")
+        cost.energy.charge_network(recovery_s, len(survivors))
+        recoveries.append({
+            "epoch": epoch,
+            "dead_socs": sorted(dead),
+            "num_groups": mapping.num_groups,
+            "rolled_back_to": rollback_epoch,
+            "recovery_seconds": recovery_s,
+        })
+        return mapping, plan, groups
 
     def _handle_preemption(self, event: PreemptionEvent,
                            groups: list[GroupMixedTrainer], preempted: int,

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..cluster.clock import PhaseClock
 from ..cluster.energy import EnergyModel, EnergyReport
+from ..cluster.faults import FaultSchedule
 from ..cluster.network import NetworkFabric
 from ..cluster.spec import ModelProfile, model_profile
 from ..cluster.topology import ClusterTopology
@@ -68,6 +69,19 @@ class RunConfig:
     #: freeze the backbone after loading ``init_state`` (ResNet-50 only)
     freeze_backbone: bool = False
     #: INT8 path settings are owned by the SoCFlow strategy
+
+    #: unplanned-fault timeline (crashes, NIC flaps, stragglers, storms)
+    fault_schedule: FaultSchedule | None = None
+    #: how *baselines* react to a dead SoC: "fail-stop" aborts the run,
+    #: "continue" keeps training on the survivors.  SoCFlow ignores this
+    #: and always recovers (rollback + group re-formation).
+    fault_mode: str = "fail-stop"
+
+    def __post_init__(self):
+        if self.fault_mode not in ("fail-stop", "continue"):
+            raise ValueError("fault_mode must be 'fail-stop' or 'continue'")
+        if self.fault_schedule is not None:
+            self.fault_schedule.validate_for(self.topology)
 
     def model_kwargs(self, seed_offset: int = 0) -> dict:
         channels, size, _ = (self.task.input_shape[0],
@@ -250,6 +264,26 @@ class Strategy(abc.ABC):
         """Run to ``config.max_epochs`` (or target accuracy) and report."""
 
     # -- helpers shared by subclasses -----------------------------------
+    @staticmethod
+    def _epoch_fault_state(config: RunConfig, epoch: int,
+                           cost: "CostModel | None" = None
+                           ) -> tuple[set[int], bool]:
+        """Baseline degraded-mode: (dead SoCs this epoch, abort?).
+
+        ``abort`` is True exactly when SoCs are down and the config asks
+        for fail-stop.  When a cost model is given, the epoch's NIC
+        degradations are pushed into its fabric either way, so even a
+        continuing baseline pays for flapping links.
+        """
+        schedule = config.fault_schedule
+        if schedule is None:
+            return set(), False
+        if cost is not None:
+            cost.fabric.apply_pcb_multipliers(schedule.nic_multipliers(epoch))
+        dead = {s for s in schedule.dead_socs(epoch)
+                if 0 <= s < config.topology.num_socs}
+        return dead, bool(dead) and config.fault_mode == "fail-stop"
+
     @staticmethod
     def _epoch_accuracy_bookkeeping(
             accuracy: float, epoch: int, config: RunConfig,

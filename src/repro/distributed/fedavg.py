@@ -70,10 +70,18 @@ class FedAvg(Strategy):
 
         history: list[float] = []
         state: dict = {}
+        extra: dict = {}
         for epoch in range(config.max_epochs):
+            dead, abort = self._epoch_fault_state(config, epoch, cost)
+            if abort:
+                extra.update(aborted=True, abort_epoch=epoch,
+                             dead_socs=sorted(dead))
+                break
             global_state = global_model.state_dict()
             client_states = []
             for index, shard in enumerate(shards):
+                if index in dead:
+                    continue        # the client's SoC is down this round
                 client_model.load_state_dict(global_state)
                 optimizer = SGD(client_model.parameters(), lr=config.lr,
                                 momentum=config.momentum,
@@ -85,7 +93,8 @@ class FedAvg(Strategy):
                     for x, y in loader:
                         fp32_train_step(client_model, optimizer, x, y)
                 client_states.append(client_model.state_dict())
-            global_model.load_state_dict(average_states(client_states))
+            if client_states:
+                global_model.load_state_dict(average_states(client_states))
 
             cost.clock.advance(compute_s, "compute")
             cost.energy.charge_compute(compute_s, num_clients, 1.0)
@@ -99,4 +108,6 @@ class FedAvg(Strategy):
                                          config.task.y_test)
             self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
                                              history, state)
-        return self._result(self.name, config, cost, history, state)
+        if config.fault_schedule is not None:
+            extra.setdefault("aborted", False)
+        return self._result(self.name, config, cost, history, state, extra)

@@ -28,9 +28,11 @@ class SsgdStrategy(Strategy):
         """Simulated synchronisation time of one training step."""
         raise NotImplementedError
 
-    def step_compute_seconds(self, cost: CostModel) -> float:
+    def step_compute_seconds(self, cost: CostModel,
+                             num_socs: int | None = None) -> float:
         """Per-step compute; each SoC trains its slice of the batch."""
-        per_soc = cost.config.sim_global_batch / cost.topology.num_socs
+        num_socs = num_socs or cost.topology.num_socs
+        per_soc = cost.config.sim_global_batch / num_socs
         return cost.compute_seconds(per_soc, "cpu")
 
     def transform_gradients(self, model) -> None:
@@ -57,7 +59,21 @@ class SsgdStrategy(Strategy):
         sync_s = self.step_sync_seconds(cost)
         history: list[float] = []
         state: dict = {}
+        extra: dict = {}
         for epoch in range(config.max_epochs):
+            dead, abort = self._epoch_fault_state(config, epoch, cost)
+            if abort:
+                # fail-stop: the synchronous ring/PS collective hangs on
+                # the dead member and the job dies with it.
+                extra.update(aborted=True, abort_epoch=epoch,
+                             dead_socs=sorted(dead))
+                break
+            num_socs = cost.topology.num_socs - len(dead)
+            if dead or config.fault_schedule is not None:
+                # continue-with-survivors: the same global batch spreads
+                # over fewer chips and syncs over possibly degraded links.
+                compute_s = self.step_compute_seconds(cost, num_socs)
+                sync_s = self.step_sync_seconds(cost)
             self.on_epoch_begin(epoch)
             for x, y in loader:
                 if self._uses_gradient_hook():
@@ -65,15 +81,17 @@ class SsgdStrategy(Strategy):
                 else:
                     fp32_train_step(model, optimizer, x, y)
             for _ in range(cost.steps_per_epoch):
-                cost.charge_step(compute_s, sync_s, cost.topology.num_socs)
+                cost.charge_step(compute_s, sync_s, num_socs)
             epoch_sync = self.extra_epoch_sync_seconds(cost)
             if epoch_sync:
-                cost.charge_epoch_sync(epoch_sync, cost.topology.num_socs)
+                cost.charge_epoch_sync(epoch_sync, num_socs)
             accuracy = evaluate_accuracy(model, config.task.x_test,
                                          config.task.y_test)
             self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
                                              history, state)
-        return self._result(self.name, config, cost, history, state)
+        if config.fault_schedule is not None:
+            extra.setdefault("aborted", False)
+        return self._result(self.name, config, cost, history, state, extra)
 
     # -- gradient-hook plumbing ---------------------------------------------
     def _uses_gradient_hook(self) -> bool:

@@ -92,7 +92,9 @@ def prepare_task(workload: Workload, preset: ScalePreset,
 def make_run_config(workload_key: str, preset_name: str = "bench",
                     num_socs: int = 32, num_groups: int = 8,
                     seed: int = 0, max_epochs: int | None = None,
-                    target_accuracy: float | None = None) -> RunConfig:
+                    target_accuracy: float | None = None,
+                    fault_schedule=None,
+                    fault_mode: str = "fail-stop") -> RunConfig:
     """Build the RunConfig for one workload at one scale."""
     workload = WORKLOADS[workload_key]
     preset = SCALE_PRESETS[preset_name]
@@ -112,6 +114,8 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
         sim_samples_per_epoch=spec.train_size,
         sim_global_batch=workload.sim_global_batch,
         num_groups=num_groups,
+        fault_schedule=fault_schedule,
+        fault_mode=fault_mode,
     )
     if workload.transfer_from is not None:
         config = pretrain_for_transfer(config, workload, preset, seed)

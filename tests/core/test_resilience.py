@@ -1,0 +1,188 @@
+"""Recovery invariants, property-based.
+
+After any fault schedule the cluster must end up in a state the
+paper's theorems still describe: every survivor sits in exactly one
+logical group, the integrity-greedy bounds (Theorems 1-2) hold on the
+survivor subset, and parameters are conserved through rollback and
+merge.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (ClusterTopology, FaultInjector, FaultSchedule,
+                           SoCCrash)
+from repro.core import (CommunicationPlan, SoCFlow, SoCFlowOptions,
+                        contention_degree, integrity_greedy_mapping,
+                        naive_mapping, survivor_group_count)
+from repro.harness import make_run_config
+
+# a survivor scenario: cluster size, dead subset, requested group count
+survivor_cases = st.integers(10, 60).flatmap(lambda num_socs: st.tuples(
+    st.just(num_socs),
+    st.sets(st.integers(0, num_socs - 1), max_size=num_socs - 1),
+    st.integers(1, 8),
+))
+
+
+def _survivors(num_socs, dead):
+    return [s for s in range(num_socs) if s not in dead]
+
+
+class TestSurvivorMappingInvariants:
+    @given(survivor_cases)
+    @settings(max_examples=120, deadline=None)
+    def test_every_survivor_in_exactly_one_group(self, case):
+        num_socs, dead, groups_wanted = case
+        alive = _survivors(num_socs, dead)
+        num_groups = min(groups_wanted, len(alive))
+        topo = ClusterTopology(num_socs=num_socs)
+        mapping = integrity_greedy_mapping(topo, num_groups, alive=set(alive))
+        placed = [s for socs in mapping.groups for s in socs]
+        assert sorted(placed) == alive          # partition: all, exactly once
+        assert all(socs for socs in mapping.groups)
+
+    @given(survivor_cases)
+    @settings(max_examples=120, deadline=None)
+    def test_theorem_bounds_hold_on_survivors(self, case):
+        num_socs, dead, groups_wanted = case
+        alive = set(_survivors(num_socs, dead))
+        num_groups = min(groups_wanted, len(alive))
+        topo = ClusterTopology(num_socs=num_socs)
+        mapping = integrity_greedy_mapping(topo, num_groups, alive=alive)
+        # Theorem 2: each group contends with at most 2 others per NIC
+        for g in range(mapping.num_groups):
+            assert contention_degree(mapping, g) <= 2
+        # which is what lets the CG colouring stay at two classes
+        assert CommunicationPlan.from_mapping(mapping).num_cgs <= 2
+        # Theorem 1: no worse than the naive layout on the same survivors
+        baseline = naive_mapping(topo, num_groups, alive=alive)
+        assert mapping.conflict_count() <= baseline.conflict_count()
+
+    @given(survivor_cases)
+    @settings(max_examples=120, deadline=None)
+    def test_group_sizes_stay_balanced(self, case):
+        num_socs, dead, groups_wanted = case
+        alive = set(_survivors(num_socs, dead))
+        num_groups = min(groups_wanted, len(alive))
+        topo = ClusterTopology(num_socs=num_socs)
+        mapping = integrity_greedy_mapping(topo, num_groups, alive=alive)
+        sizes = [len(socs) for socs in mapping.groups]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSurvivorGroupCount:
+    @given(st.integers(1, 60), st.integers(1, 16), st.integers(1, 60))
+    @settings(max_examples=200, deadline=None)
+    def test_result_always_usable(self, num_alive, prev_groups, prev_socs):
+        n = survivor_group_count(num_alive, prev_groups, prev_socs)
+        assert 1 <= n <= min(num_alive, prev_groups)
+
+    @given(st.integers(1, 16), st.integers(1, 60), st.integers(1, 59))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_survivors(self, prev_groups, prev_socs, num_alive):
+        fewer = survivor_group_count(num_alive, prev_groups, prev_socs)
+        more = survivor_group_count(num_alive + 1, prev_groups, prev_socs)
+        assert more >= fewer
+
+    def test_no_deaths_keeps_group_count(self):
+        assert survivor_group_count(32, 8, 32) == 8
+
+    def test_group_size_preserving_kill(self):
+        # 32 SoCs / 7 groups -> size 4; killing 4 leaves 28 = 7 * 4
+        assert survivor_group_count(28, 7, 32) == 7
+
+    def test_heavy_losses_shrink_group_count(self):
+        assert survivor_group_count(8, 8, 32) == 2
+        assert survivor_group_count(3, 8, 32) == 1
+
+
+def _quick_config(schedule, num_groups=4, epochs=3, socs=16):
+    return make_run_config("vgg11", "quick", num_socs=socs,
+                           num_groups=num_groups, max_epochs=epochs,
+                           fault_schedule=schedule)
+
+
+class TestEndToEndRecovery:
+    def test_final_groups_partition_survivors(self):
+        schedule = FaultSchedule((SoCCrash(1, 2), SoCCrash(1, 7),
+                                  SoCCrash(2, 11)))
+        result = SoCFlow(SoCFlowOptions()).train(_quick_config(schedule))
+        extra = result.extra
+        assert extra["aborted"] is False
+        assert extra["dead_socs"] == [2, 7, 11]
+        placed = sorted(s for g in extra["final_groups"] for s in g)
+        assert placed == [s for s in range(16) if s not in {2, 7, 11}]
+        assert len(extra["recoveries"]) == 2        # dead set changed twice
+
+    def test_recovery_rolls_back_to_last_merge(self):
+        schedule = FaultSchedule((SoCCrash(2, 0),))
+        result = SoCFlow(SoCFlowOptions()).train(_quick_config(schedule))
+        (recovery,) = result.extra["recoveries"]
+        assert recovery["epoch"] == 2
+        assert recovery["rolled_back_to"] == 1
+        assert recovery["recovery_seconds"] > 0
+
+    def test_parameters_conserved_through_rollback_and_merge(self):
+        schedule = FaultSchedule((SoCCrash(1, 3), SoCCrash(1, 4)))
+        faulted = SoCFlow(SoCFlowOptions()).train(_quick_config(schedule))
+        clean = SoCFlow(SoCFlowOptions()).train(_quick_config(None))
+        faulted_state = faulted.extra["final_state"]
+        clean_state = clean.extra["final_state"]
+        assert set(faulted_state) == set(clean_state)
+        for key in clean_state:
+            assert faulted_state[key].shape == clean_state[key].shape
+            assert np.all(np.isfinite(faulted_state[key]))
+
+    def test_crash_with_recovery_regrows_groups(self):
+        schedule = FaultSchedule((SoCCrash(1, 0, recover_epoch=3),))
+        result = SoCFlow(SoCFlowOptions()).train(
+            _quick_config(schedule, epochs=4))
+        recoveries = result.extra["recoveries"]
+        assert [r["epoch"] for r in recoveries] == [1, 3]
+        assert result.extra["dead_socs"] == []
+        placed = sorted(s for g in result.extra["final_groups"] for s in g)
+        assert placed == list(range(16))
+
+    def test_all_dead_run_stops_gracefully(self):
+        crashes = tuple(SoCCrash(1, s) for s in range(16))
+        result = SoCFlow(SoCFlowOptions()).train(_quick_config(
+            FaultSchedule(crashes), epochs=3))
+        # only epoch 0 trained before the cluster died
+        assert len(result.accuracy_history) == 1
+        assert result.extra["all_dead_epoch"] == 1
+
+    def test_injected_random_schedule_still_completes(self):
+        topo = ClusterTopology(num_socs=16)
+        schedule = FaultInjector(topo, seed=11).sample(
+            4, num_crashes=3, num_flaps=1, num_stragglers=1)
+        result = SoCFlow(SoCFlowOptions()).train(
+            _quick_config(schedule, epochs=4))
+        assert result.extra["aborted"] is False
+        assert len(result.accuracy_history) == 4
+        dead = set(result.extra["dead_socs"])
+        placed = sorted(s for g in result.extra["final_groups"] for s in g)
+        assert placed == [s for s in range(16) if s not in dead]
+
+    def test_nic_flap_charges_retries(self):
+        from repro.cluster import NicDegradation
+        schedule = FaultSchedule((NicDegradation(1, 0, 0.1,
+                                                 recover_epoch=3),))
+        result = SoCFlow(SoCFlowOptions()).train(
+            _quick_config(schedule, epochs=4))
+        assert result.extra["network_retries"] > 0
+        clean = SoCFlow(SoCFlowOptions()).train(_quick_config(None, epochs=4))
+        assert result.sim_time_s > clean.sim_time_s
+
+
+class TestMappingRejectsBadSurvivors:
+    def test_empty_survivor_set(self):
+        topo = ClusterTopology(num_socs=10)
+        with pytest.raises(ValueError):
+            integrity_greedy_mapping(topo, 1, alive=set())
+
+    def test_more_groups_than_survivors(self):
+        topo = ClusterTopology(num_socs=10)
+        with pytest.raises(ValueError):
+            integrity_greedy_mapping(topo, 5, alive={0, 1, 2})

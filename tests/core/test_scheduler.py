@@ -1,14 +1,17 @@
-"""Global scheduler: events, rebalancing, checkpoint costs."""
+"""Global scheduler: events, rebalancing, checkpoint costs, faults."""
 
 import pytest
 
-from repro.cluster import ClusterTopology, NetworkFabric
+from repro.cluster import (ClusterTopology, FaultSchedule, NetworkFabric,
+                           NicDegradation, PreemptionStorm, SoCCrash,
+                           StragglerFault)
 from repro.core import GlobalScheduler, PreemptionEvent, UnderclockEvent
 
 
-def scheduler(rebalance=True, events=()):
+def scheduler(rebalance=True, events=(), fault_schedule=None):
     return GlobalScheduler(ClusterTopology(num_socs=20),
-                           rebalance=rebalance, events=list(events))
+                           rebalance=rebalance, events=list(events),
+                           fault_schedule=fault_schedule)
 
 
 class TestEvents:
@@ -57,6 +60,95 @@ class TestUnderclocking:
         assert sched.group_slowdown([0, 1]) == 1.0
         sched.apply_underclocks(3)
         assert sched.group_slowdown([0, 1]) > 1.0
+
+    def test_slowdown_is_direct_product_of_clock_factors(self):
+        # direct unit coverage: two slowed SoCs in one group, rebalanced
+        sched = scheduler(events=[UnderclockEvent(0, soc=0, factor=0.5),
+                                  UnderclockEvent(0, soc=1, factor=0.25)])
+        sched.apply_underclocks(0)
+        # factors [0.5, 0.25, 1, 1] -> 4 / 2.75
+        assert sched.group_slowdown([0, 1, 2, 3]) == pytest.approx(4 / 2.75)
+
+    def test_slowdown_ignores_socs_outside_group(self):
+        sched = scheduler(events=[UnderclockEvent(0, soc=19, factor=0.5)])
+        sched.apply_underclocks(0)
+        assert sched.group_slowdown([0, 1, 2]) == 1.0
+
+
+class TestUnderclockingAcrossResume:
+    """The checkpoint-restore off-by-one: DVFS state is persistent, so an
+    event that landed on or before the epoch a checkpoint restores into
+    must still be in force when ``apply_underclocks`` first runs."""
+
+    def test_event_before_resume_epoch_still_applies(self):
+        sched = scheduler(events=[UnderclockEvent(2, soc=0, factor=0.5)])
+        sched.apply_underclocks(4)      # first call after resuming at 4
+        assert sched.group_slowdown([0, 1]) == pytest.approx(2 / 1.5)
+
+    def test_event_on_resume_epoch_applies(self):
+        # an UnderclockEvent landing exactly on the epoch the checkpoint
+        # restores into used to be skipped when epochs advanced past it
+        sched = scheduler(events=[UnderclockEvent(3, soc=1, factor=0.25)])
+        sched.apply_underclocks(3)
+        assert sched.group_slowdown([1, 2, 3, 4]) == pytest.approx(4 / 3.25)
+
+    def test_events_apply_in_epoch_order_not_list_order(self):
+        sched = scheduler(events=[UnderclockEvent(3, soc=0, factor=0.75),
+                                  UnderclockEvent(1, soc=0, factor=0.25)])
+        sched.apply_underclocks(5)
+        # the epoch-3 event supersedes the epoch-1 one
+        assert sched.group_slowdown([0, 1]) == pytest.approx(2 / 1.75)
+
+
+class TestFaults:
+    def test_no_schedule_is_a_noop(self):
+        sched = scheduler()
+        assert sched.apply_faults(0) == set()
+        assert sched.alive_socs_at(0) == list(range(20))
+
+    def test_dead_socs_tracked_with_recovery(self):
+        sched = scheduler(fault_schedule=FaultSchedule(
+            (SoCCrash(1, 3), SoCCrash(2, 5, recover_epoch=4))))
+        assert sched.dead_socs_at(0) == set()
+        assert sched.dead_socs_at(2) == {3, 5}
+        assert sched.dead_socs_at(4) == {3}
+        assert 5 in sched.alive_socs_at(4)
+
+    def test_out_of_range_crashes_are_ignored(self):
+        sched = scheduler(fault_schedule=FaultSchedule((SoCCrash(0, 99),)))
+        assert sched.dead_socs_at(0) == set()
+
+    def test_stragglers_fold_into_clock_factors(self):
+        sched = scheduler(fault_schedule=FaultSchedule(
+            (StragglerFault(1, 0, 0.5),)))
+        sched.apply_faults(0)
+        assert sched.group_slowdown([0, 1]) == 1.0
+        sched.apply_faults(1)
+        assert sched.group_slowdown([0, 1]) == pytest.approx(2 / 1.5)
+
+    def test_nic_multipliers_pushed_into_fabric(self):
+        sched = scheduler(fault_schedule=FaultSchedule(
+            (NicDegradation(1, 0, 0.25, recover_epoch=3),)))
+        fabric = NetworkFabric(sched.topology)
+        sched.apply_faults(1, fabric)
+        assert fabric.pcb_multiplier(0) == 0.25
+        sched.apply_faults(3, fabric)
+        assert fabric.pcb_multiplier(0) == 1.0
+
+    def test_storms_surface_as_preemptions(self):
+        sched = scheduler(events=[PreemptionEvent(2)],
+                          fault_schedule=FaultSchedule(
+                              (PreemptionStorm(2, num_groups=3),)))
+        preemptions = sched.preemptions_at(2)
+        assert len(preemptions) == 2
+        assert sum(p.num_groups for p in preemptions) == 4
+
+    def test_recovery_seconds_positive_and_scales(self):
+        sched = scheduler()
+        fabric = NetworkFabric(sched.topology)
+        small = sched.recovery_seconds(1e6, fabric, list(range(10)))
+        large = sched.recovery_seconds(1e8, fabric, list(range(10)))
+        assert 0 < small < large
 
 
 class TestCosts:

@@ -62,6 +62,66 @@ class TestRunCommand:
         assert "fedavg" in output
 
 
+class TestFaultArgs:
+    def test_run_with_crash_spec_prints_summary(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "2", "--socs", "16",
+            "--faults", "crash:epoch=1,soc=3"])
+        assert code == 0
+        assert "faults: completed" in output
+        assert "dead=[3]" in output
+
+    def test_run_with_flap_and_storm(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "2", "--socs", "16",
+            "--faults", "flap:epoch=1,pcb=0,mult=0.2,until=2;storm:epoch=1"])
+        assert code == 0
+        assert "faults: completed" in output
+
+    def test_baseline_fail_stop_reports_abort(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "ring",
+            "--epochs", "2", "--socs", "8",
+            "--faults", "crash:epoch=1,soc=0"])
+        assert code == 0
+        assert "ABORTED at epoch 1" in output
+
+    def test_baseline_continue_mode_completes(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "ring",
+            "--epochs", "2", "--socs", "8", "--fault-mode", "continue",
+            "--faults", "crash:epoch=1,soc=0"])
+        assert code == 0
+        assert "ABORTED" not in output
+
+    @pytest.mark.parametrize("bad", [
+        "bogus",
+        "crash:epoch=1",
+        "crash:epoch=one,soc=2",
+        "nic:epoch=1,pcb=0,mult=2.0",
+        "crash:epoch=1,soc=999",            # out of range for --socs
+    ])
+    def test_malformed_spec_exits_2(self, bad, capsys):
+        code, _ = run_cli(["run", "--workload", "lenet5_fmnist",
+                           "--epochs", "1", "--socs", "16",
+                           "--faults", bad])
+        assert code == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_compare_rejects_malformed_spec(self, capsys):
+        code, _ = run_cli(["compare", "--workload", "lenet5_fmnist",
+                           "--methods", "ring,socflow", "--epochs", "1",
+                           "--faults", "warp:epoch=1"])
+        assert code == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_bad_fault_mode_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fault-mode", "explode"])
+
+
 class TestCompareCommand:
     def test_compare_two_methods(self):
         code, output = run_cli([

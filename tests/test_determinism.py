@@ -1,0 +1,76 @@
+"""End-to-end determinism: same seed + same fault schedule must give
+bit-identical weights and an identical simulated clock, even through
+crash/rollback/re-group recovery."""
+
+import numpy as np
+
+from repro.cluster import (ClusterTopology, FaultInjector, FaultSchedule,
+                          NicDegradation, SoCCrash)
+from repro.core import SoCFlow, SoCFlowOptions
+from repro.distributed import build_strategy
+from repro.harness import make_run_config
+
+
+def _schedule():
+    return FaultSchedule((SoCCrash(1, 2), SoCCrash(1, 9),
+                          NicDegradation(2, 0, 0.25, recover_epoch=3)))
+
+
+def _run(seed=0, schedule=None, method="socflow"):
+    config = make_run_config("vgg11", "quick", num_socs=16, num_groups=4,
+                             max_epochs=3, seed=seed,
+                             fault_schedule=schedule,
+                             fault_mode="continue")
+    if method == "socflow":
+        return SoCFlow(SoCFlowOptions()).train(config)
+    return build_strategy(method).train(config)
+
+
+def _assert_identical(a, b):
+    assert a.accuracy_history == b.accuracy_history
+    assert a.sim_time_s == b.sim_time_s
+    assert a.breakdown == b.breakdown
+    state_a, state_b = a.extra["final_state"], b.extra["final_state"]
+    assert set(state_a) == set(state_b)
+    for key in state_a:
+        assert np.array_equal(state_a[key], state_b[key]), key
+
+
+class TestSoCFlowDeterminism:
+    def test_fault_free_runs_are_bit_identical(self):
+        _assert_identical(_run(seed=3), _run(seed=3))
+
+    def test_faulted_runs_are_bit_identical(self):
+        a = _run(seed=3, schedule=_schedule())
+        b = _run(seed=3, schedule=_schedule())
+        assert a.extra["recoveries"] == b.extra["recoveries"]
+        assert a.extra["network_retries"] == b.extra["network_retries"]
+        _assert_identical(a, b)
+
+    def test_injector_schedules_are_reproducible_end_to_end(self):
+        topo = ClusterTopology(num_socs=16)
+        runs = [
+            _run(seed=5, schedule=FaultInjector(topo, seed=21).sample(
+                3, num_crashes=2, num_flaps=1))
+            for _ in range(2)
+        ]
+        _assert_identical(*runs)
+
+    def test_different_seed_diverges(self):
+        a, b = _run(seed=0), _run(seed=1)
+        state_a, state_b = a.extra["final_state"], b.extra["final_state"]
+        assert any(not np.array_equal(state_a[k], state_b[k])
+                   for k in state_a)
+
+
+class TestBaselineDeterminism:
+    def test_ring_survivor_mode_is_bit_identical(self):
+        a = _run(seed=2, schedule=_schedule(), method="ring")
+        b = _run(seed=2, schedule=_schedule(), method="ring")
+        assert a.accuracy_history == b.accuracy_history
+        assert a.sim_time_s == b.sim_time_s
+        state_a = a.extra.get("final_state")
+        state_b = b.extra.get("final_state")
+        if state_a is not None and state_b is not None:
+            for key in state_a:
+                assert np.array_equal(state_a[key], state_b[key]), key
