@@ -15,6 +15,13 @@ faults: semicolon-separated clauses like
 selects how *baselines* react (``fail-stop`` aborts, ``continue``
 keeps the survivors); SoCFlow always recovers.
 
+Telemetry: ``--trace PATH`` records every simulated span (compute,
+allreduce, leader sync, NIC waits, recovery, ...) and writes a Chrome
+``chrome://tracing``/Perfetto trace (or a JSONL event log with
+``--trace-format jsonl``); ``--metrics PATH`` writes the metrics
+registry as JSONL.  Either flag also prints the per-epoch breakdown
+table.  ``compare`` writes one file per method (``run.ring.json``).
+
 Examples
 --------
 ::
@@ -22,6 +29,8 @@ Examples
     python -m repro.cli list
     python -m repro.cli run --workload vgg11 --method socflow --socs 32
     python -m repro.cli run --workload vgg11 --faults "crash:epoch=1,soc=3"
+    python -m repro.cli run --workload vgg11 --trace run.json \
+        --metrics run-metrics.jsonl
     python -m repro.cli compare --workload resnet18 --methods ring,socflow
     python -m repro.cli trace --threshold 0.25
 """
@@ -37,6 +46,7 @@ from .core import SoCFlow, SoCFlowOptions
 from .distributed import STRATEGY_REGISTRY, build_strategy
 from .harness import SCALE_PRESETS, WORKLOADS, format_table, make_run_config
 from .nn.models import MODEL_REGISTRY
+from .telemetry import Telemetry, render_epoch_table, write_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -83,6 +93,14 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                         choices=("fail-stop", "continue"),
                         help="baseline reaction to dead SoCs "
                              "(SoCFlow always recovers)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a trace of the simulated run "
+                             "(open chrome format in Perfetto)")
+    parser.add_argument("--trace-format", default="chrome",
+                        choices=("chrome", "jsonl"),
+                        help="trace file format (default: chrome)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write the metrics registry as JSONL")
 
 
 def _parse_faults(args):
@@ -93,14 +111,21 @@ def _parse_faults(args):
                             ClusterTopology(num_socs=args.socs))
 
 
-def _train(args, method: str, fault_schedule=None):
+def _telemetry_for(args) -> Telemetry | None:
+    if args.trace is None and args.metrics is None:
+        return None
+    return Telemetry.active()
+
+
+def _train(args, method: str, fault_schedule=None, telemetry=None):
     groups = args.groups or max(2, args.socs // 4)
     config = make_run_config(args.workload, args.preset,
                              num_socs=args.socs, num_groups=groups,
                              max_epochs=args.epochs, seed=args.seed,
                              fault_schedule=fault_schedule,
                              fault_mode=getattr(args, "fault_mode",
-                                                "fail-stop"))
+                                                "fail-stop"),
+                             telemetry=telemetry)
     if method == "socflow":
         return SoCFlow(SoCFlowOptions()).train(config)
     return build_strategy(method).train(config)
@@ -137,19 +162,65 @@ def _fault_summary(result) -> str:
     return "\n".join(parts)
 
 
+def _network_summary(result) -> str:
+    """One-line NIC health report for the run summary."""
+    degraded = result.extra.get("degraded_pcbs") or {}
+    if degraded:
+        detail = ", ".join(f"{pcb}@{mult:.2f}"
+                           for pcb, mult in sorted(degraded.items()))
+    else:
+        detail = "none"
+    retries = result.extra.get("network_retries", 0)
+    return f"network: retries={retries}, degraded PCBs: {detail}"
+
+
+def _method_path(path: str, method: str) -> str:
+    """Insert the method name before the extension: run.json -> run.ring.json."""
+    base, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.{method}"
+    return f"{base}.{method}.{ext}"
+
+
+def _emit_telemetry(args, telemetry, out, method: str | None = None) -> None:
+    """Write trace/metrics files and print the per-epoch table."""
+    if telemetry is None:
+        return
+    if telemetry.epoch_rows:
+        title = f"per-epoch breakdown ({method})" if method \
+            else "per-epoch breakdown"
+        print(f"[{title}]", file=out)
+        print(render_epoch_table(telemetry.epoch_rows), file=out)
+    if args.trace is not None:
+        path = (args.trace if method is None
+                else _method_path(args.trace, method))
+        write_trace(telemetry.tracer, path, fmt=args.trace_format)
+        print(f"trace: {len(telemetry.tracer.records)} records -> {path} "
+              f"({args.trace_format})", file=out)
+    if args.metrics is not None:
+        path = (args.metrics if method is None
+                else _method_path(args.metrics, method))
+        telemetry.metrics.write_jsonl(path)
+        print(f"metrics: {len(telemetry.metrics)} series -> {path}",
+              file=out)
+
+
 def cmd_run(args, out) -> int:
     try:
         fault_schedule = _parse_faults(args)
     except FaultSpecError as err:
         print(f"bad --faults spec: {err}", file=sys.stderr)
         return 2
-    result = _train(args, args.method, fault_schedule)
+    telemetry = _telemetry_for(args)
+    result = _train(args, args.method, fault_schedule, telemetry)
     print(format_table(_HEADERS, [_result_row(args.method, result)]),
           file=out)
     print("accuracy per epoch: "
           + " ".join(f"{a:.2f}" for a in result.accuracy_history), file=out)
+    print(_network_summary(result), file=out)
     if fault_schedule is not None:
         print(_fault_summary(result), file=out)
+    _emit_telemetry(args, telemetry, out)
     return 0
 
 
@@ -164,8 +235,13 @@ def cmd_compare(args, out) -> int:
     except FaultSpecError as err:
         print(f"bad --faults spec: {err}", file=sys.stderr)
         return 2
-    rows = [_result_row(m, _train(args, m, fault_schedule))
-            for m in methods]
+    rows = []
+    for method in methods:
+        telemetry = _telemetry_for(args)
+        rows.append(_result_row(method,
+                                _train(args, method, fault_schedule,
+                                       telemetry)))
+        _emit_telemetry(args, telemetry, out, method=method)
     print(format_table(_HEADERS, rows), file=out)
     return 0
 

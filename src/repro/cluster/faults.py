@@ -36,7 +36,7 @@ from .topology import ClusterTopology
 
 __all__ = ["FaultSpecError", "SoCCrash", "NicDegradation", "StragglerFault",
            "PreemptionStorm", "FaultSchedule", "FaultInjector",
-           "parse_fault_spec"]
+           "parse_fault_spec", "event_summary"]
 
 
 class FaultSpecError(ValueError):
@@ -123,6 +123,23 @@ class PreemptionStorm:
 
 _EVENT_TYPES = (SoCCrash, NicDegradation, StragglerFault, PreemptionStorm)
 
+_EVENT_KIND_NAMES = {SoCCrash: "crash", NicDegradation: "nic_degradation",
+                     StragglerFault: "straggler",
+                     PreemptionStorm: "preemption_storm"}
+
+
+def event_summary(event) -> dict:
+    """Flat, JSON-ready description of one fault event (trace ``args``)."""
+    if not isinstance(event, _EVENT_TYPES):
+        raise TypeError(f"not a fault event: {event!r}")
+    summary = {"fault": _EVENT_KIND_NAMES[type(event)], "epoch": event.epoch}
+    for field_name in ("soc", "pcb", "multiplier", "factor", "num_groups",
+                       "recover_epoch"):
+        value = getattr(event, field_name, None)
+        if value is not None:
+            summary[field_name] = value
+    return summary
+
 
 @dataclass(frozen=True)
 class FaultSchedule:
@@ -177,6 +194,11 @@ class FaultSchedule:
     def storms_at(self, epoch: int) -> list[PreemptionStorm]:
         return [e for e in self.events
                 if isinstance(e, PreemptionStorm) and e.epoch == epoch]
+
+    def events_at(self, epoch: int) -> tuple:
+        """Every event whose onset is exactly ``epoch`` (telemetry hook:
+        the scheduler emits one ``fault`` trace event per onset)."""
+        return tuple(e for e in self.events if e.epoch == epoch)
 
     @property
     def max_epoch(self) -> int:

@@ -61,8 +61,10 @@ class NetworkFabric:
 
     def __init__(self, topology: ClusterTopology,
                  num_tensors: int | None = None,
-                 retry_policy: "RetryPolicy | None" = None):
+                 retry_policy: "RetryPolicy | None" = None,
+                 telemetry=None):
         from ..comm.primitives import RetryPolicy
+        from ..telemetry import NULL_TELEMETRY
         self.topology = topology
         if num_tensors is None:
             self.startup_per_soc_s = topology.startup_per_soc_s
@@ -70,6 +72,7 @@ class NetworkFabric:
             self.startup_per_soc_s = (STARTUP_BASE_S
                                       + STARTUP_PER_TENSOR_S * num_tensors)
         self.retry_policy = retry_policy or RetryPolicy()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: pcb -> bandwidth multiplier for degraded/flapping PCB NICs
         self._pcb_multipliers: dict[int, float] = {}
         #: cumulative timed-out attempts charged (observability/tests)
@@ -154,6 +157,7 @@ class NetworkFabric:
         timeout/retry penalty of :class:`~repro.comm.primitives.RetryPolicy`
         for the worst link involved.
         """
+        flows = list(flows)
         load: dict[tuple[str, str], float] = {}
         any_flow = False
         for flow in flows:
@@ -167,6 +171,7 @@ class NetworkFabric:
         worst = max(8.0 * nbytes / self._bandwidth(link)
                     for (link, _), nbytes in load.items())
         penalty = 0.0
+        retries = 0
         if self._pcb_multipliers:
             worst_mult = min(
                 (self._pcb_multipliers.get(int(link[4:]), 1.0)
@@ -176,13 +181,67 @@ class NetworkFabric:
             if retries:
                 penalty = self.retry_policy.penalty_seconds(retries)
                 self.total_retries += retries
+        if self.telemetry.enabled:
+            self._emit_transfer_telemetry(flows, load, worst, penalty,
+                                          retries)
         return worst + penalty + self.topology.hop_latency_s
+
+    def _emit_transfer_telemetry(self, flows, load, worst: float,
+                                 penalty: float, retries: int) -> None:
+        """Emit ``nic_wait`` spans and retry metrics for one transfer.
+
+        The contention wait is the slowdown shared links impose beyond
+        the slowest flow running alone; the retry penalty is the
+        degraded-link backoff.  Spans are stamped at the current
+        simulated time, i.e. the start of the window the caller is
+        about to charge.
+        """
+        if retries:
+            self.telemetry.metrics.counter("net.retries").inc(retries)
+        tracer = self.telemetry.tracer
+        if not tracer.enabled:
+            return
+        bottleneck, bottleneck_bytes = max(
+            load.items(), key=lambda kv: 8.0 * kv[1] / self._bandwidth(kv[0][0]))
+        solo = max((max(8.0 * flow.nbytes / self._bandwidth(link)
+                        for link, _ in self._links_of(flow))
+                    for flow in flows if flow.nbytes > 0), default=0.0)
+        wait = max(0.0, worst - solo) + penalty
+        if wait <= 0.0:
+            return
+        link = bottleneck[0]
+        pcb = int(link[4:]) if link.startswith("pcb:") else None
+        soc = int(link[4:]) if link.startswith("soc:") else None
+        tracer.span("nic_wait", self.telemetry.now, wait, pcb=pcb, soc=soc,
+                    link=link, link_bytes=bottleneck_bytes, flows=len(flows),
+                    retries=retries, retry_penalty_s=penalty)
 
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
     def _startup(self, num_participants: int) -> float:
         return self.startup_per_soc_s * num_participants
+
+    def pcb_ring_bytes(self, rings: Sequence[Sequence[int]],
+                       nbytes: float) -> dict[int, float]:
+        """Bytes each PCB NIC carries for one full set of ring all-reduces.
+
+        Every ring edge moves ``nbytes / n`` per phase over ``2(n-1)``
+        phases; an edge crossing a PCB boundary loads both PCB NICs
+        (tx on the source's, rx on the destination's).  Used by the
+        metrics registry to account NIC traffic exactly, independent of
+        how many simulated steps a computed window is charged for.
+        """
+        out: dict[int, float] = {}
+        for ring in (list(r) for r in rings if len(r) >= 2):
+            per_edge = nbytes / len(ring) * 2 * (len(ring) - 1)
+            for i, src in enumerate(ring):
+                dst = ring[(i + 1) % len(ring)]
+                if not self.topology.same_pcb(src, dst):
+                    for pcb in (self.topology.pcb_of(src),
+                                self.topology.pcb_of(dst)):
+                        out[pcb] = out.get(pcb, 0.0) + per_edge
+        return out
 
     def ring_allreduce_time(self, socs: Sequence[int], nbytes: float) -> float:
         """One ring all-reduce over ``socs`` of an ``nbytes`` payload."""

@@ -63,17 +63,28 @@ class RetryPolicy:
         return retries * self.timeout_s + backoff
 
 
-def average_states(states: Sequence[dict]) -> "OrderedDict[str, np.ndarray]":
+def average_states(states: Sequence[dict], metrics=None
+                   ) -> "OrderedDict[str, np.ndarray]":
     """Uniform element-wise average of model state dicts."""
     if not states:
         raise ValueError("need at least one state")
-    return weighted_average_states(states, [1.0] * len(states))
+    return weighted_average_states(states, [1.0] * len(states),
+                                   metrics=metrics)
 
 
 def weighted_average_states(states: Sequence[dict],
-                            weights: Sequence[float]
+                            weights: Sequence[float],
+                            metrics=None
                             ) -> "OrderedDict[str, np.ndarray]":
-    """Weighted element-wise average (weights are normalised)."""
+    """Weighted element-wise average (weights are normalised).
+
+    ``metrics`` optionally takes a telemetry
+    :class:`~repro.telemetry.MetricsRegistry`; each call then counts one
+    ``comm.merges`` and the state bytes actually averaged
+    (``comm.merged_bytes``) — this is the *real* data-plane aggregation
+    every strategy performs, as opposed to the simulated-scale transfer
+    accounting in :class:`~repro.cluster.network.NetworkFabric`.
+    """
     if len(states) != len(weights):
         raise ValueError("one weight per state required")
     total = float(sum(weights))
@@ -89,6 +100,10 @@ def weighted_average_states(states: Sequence[dict],
         for state, weight in zip(states, weights):
             acc += (weight / total) * state[key]
         out[key] = acc.astype(states[0][key].dtype)
+    if metrics is not None and metrics.enabled:
+        nbytes = sum(np.asarray(v).nbytes for v in out.values())
+        metrics.counter("comm.merges").inc()
+        metrics.counter("comm.merged_bytes").inc(nbytes * len(states))
     return out
 
 

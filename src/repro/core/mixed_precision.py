@@ -20,6 +20,7 @@ from ..nn.tensor import Tensor, no_grad
 from ..quant.int8 import QuantConfig
 from ..quant.mixed import MixedPrecisionController, merge_weights
 from ..quant.trainer import Int8Trainer
+from ..telemetry import NULL_TELEMETRY
 
 __all__ = ["GroupMixedTrainer"]
 
@@ -34,6 +35,8 @@ class GroupMixedTrainer:
         self.config = config
         self.controller = controller
         self.mixed = mixed
+        self.telemetry = (config.telemetry if config.telemetry is not None
+                          else NULL_TELEMETRY)
         self.fp32 = make_model(config, seed_offset=seed_offset)
         self.fp32_opt = SGD(self.fp32.parameters(), lr=config.lr,
                             momentum=config.momentum,
@@ -63,6 +66,14 @@ class GroupMixedTrainer:
                                self.int8.model.state_dict(),
                                self.controller.alpha)
         self._load_both(merged)
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            # Real-execution (not simulated-scale) split accounting: how
+            # many samples each processor actually trained, per Eq. 5
+            # merge performed.
+            metrics.counter("mixed.cpu_samples").inc(cpu_n)
+            metrics.counter("mixed.npu_samples").inc(npu_n)
+            metrics.counter("mixed.merges").inc()
 
     def _load_both(self, state: "OrderedDict[str, np.ndarray]") -> None:
         self.fp32.load_state_dict(state)

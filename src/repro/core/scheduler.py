@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..cluster.faults import FaultSchedule
+from ..cluster.faults import FaultSchedule, event_summary
 from ..cluster.network import NetworkFabric
 from ..cluster.topology import ClusterTopology
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["PreemptionEvent", "UnderclockEvent", "GlobalScheduler"]
 
@@ -65,6 +66,7 @@ class GlobalScheduler:
     rebalance: bool = True
     events: list = field(default_factory=list)
     fault_schedule: FaultSchedule | None = None
+    telemetry: Telemetry = field(default_factory=lambda: NULL_TELEMETRY)
     _clock_factors: dict[int, float] = field(default_factory=dict)
 
     # -- dispatch -------------------------------------------------------
@@ -142,6 +144,16 @@ class GlobalScheduler:
         if fabric is not None:
             fabric.apply_pcb_multipliers(
                 self.fault_schedule.nic_multipliers(epoch))
+        tel = self.telemetry
+        if tel.tracer.enabled or tel.metrics.enabled:
+            for event in self.fault_schedule.events_at(epoch):
+                args = event_summary(event)
+                kind = args.pop("fault")
+                tel.tracer.event("fault", tel.now, name=f"fault:{kind}",
+                                 soc=args.pop("soc", None),
+                                 pcb=args.pop("pcb", None), fault=kind,
+                                 **args)
+                tel.metrics.counter("faults.injected", kind=kind).inc()
         return self.dead_socs_at(epoch)
 
     def dead_socs_at(self, epoch: int) -> set[int]:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..cluster.clock import PhaseClock
 from ..comm.primitives import average_states
 from ..distributed.base import (CostModel, RunConfig, Strategy,
                                 StrategyResult, evaluate_accuracy)
@@ -117,7 +118,10 @@ class SoCFlow(Strategy):
         profile: dict[int, float] = {}
         probe_options = replace(self.options, auto_group_size=False)
         for n in candidates:
-            probe_config = replace(config, max_epochs=1, num_groups=n)
+            # Probe runs stay untraced: their scratch clocks must not
+            # rebind the telemetry context of the real run.
+            probe_config = replace(config, max_epochs=1, num_groups=n,
+                                   telemetry=None)
             result = SoCFlow(probe_options).train(probe_config)
             profile[n] = result.extra["first_epoch_group_accuracy"]
         selector = GroupSizeSelector(self.options.group_size_drop_threshold)
@@ -129,13 +133,15 @@ class SoCFlow(Strategy):
         if options.auto_group_size and options.grouping:
             chosen, group_size_profile = self.select_group_size(config)
             config = replace(config, num_groups=chosen)
-        cost = CostModel(config)
+        cost = CostModel(config, telemetry=config.telemetry)
+        telemetry = cost.telemetry
         mapping = self._build_mapping(config)
         plan = CommunicationPlan.from_mapping(mapping)
         scheduler = GlobalScheduler(config.topology,
                                     rebalance=options.rebalance,
                                     events=list(options.events),
-                                    fault_schedule=config.fault_schedule)
+                                    fault_schedule=config.fault_schedule,
+                                    telemetry=telemetry)
 
         mixed = options.mixed and options.precision == "mixed"
         controller = MixedPrecisionController(cost.t_cpu_sample,
@@ -148,11 +154,16 @@ class SoCFlow(Strategy):
         rng = np.random.default_rng(config.seed)
 
         model_bytes = cost.grad_bytes
+        dispatch_t0 = cost.clock.now
         dispatch_s = scheduler.dispatch_seconds(
             cost.fabric, model_bytes,
             data_bytes_per_soc=config.sim_samples_per_epoch
             * np.prod(config.task.input_shape) / config.topology.num_socs)
         cost.charge_epoch_sync(dispatch_s, config.topology.num_socs)
+        if telemetry.tracer.enabled:
+            telemetry.tracer.span("dispatch", dispatch_t0, dispatch_s,
+                                  model_bytes=model_bytes,
+                                  num_socs=config.topology.num_socs)
 
         history: list[float] = []
         state: dict = {}
@@ -166,6 +177,8 @@ class SoCFlow(Strategy):
         current_dead: set[int] = set()
         recoveries: list[dict] = []
         for epoch in range(start_epoch, config.max_epochs):
+            epoch_t0 = cost.clock.now
+            epoch_phases0 = cost.clock.breakdown()
             scheduler.apply_underclocks(epoch)
             dead = scheduler.apply_faults(epoch, cost.fabric)
             if dead != current_dead:
@@ -192,7 +205,7 @@ class SoCFlow(Strategy):
 
             self._run_real_epoch(config, active, epoch, rng)
             self._charge_epoch(config, cost, active_mapping, active_plan,
-                               controller, scheduler, mixed)
+                               controller, scheduler, mixed, epoch)
 
             if epoch == 0:
                 # The group-size heuristic profiles *pre-merge* accuracy
@@ -200,7 +213,8 @@ class SoCFlow(Strategy):
                 state["first_epoch_group_accuracy"] = evaluate_accuracy(
                     active[0].fp32, config.task.x_test, config.task.y_test)
 
-            merged = average_states([g.state_dict() for g in active])
+            merged = average_states([g.state_dict() for g in active],
+                                    metrics=telemetry.metrics)
             for group in active:
                 group.load_state(merged)
             last_good = (merged, epoch)
@@ -216,6 +230,11 @@ class SoCFlow(Strategy):
                 self._write_checkpoint(options.checkpoint_path, active[0],
                                        epoch, history, controller, cost,
                                        config)
+            if telemetry.enabled:
+                self._record_epoch_telemetry(
+                    telemetry, cost, epoch, epoch_t0, epoch_phases0,
+                    accuracy, controller if mixed else None,
+                    active_mapping)
 
         extra = {
             "first_epoch_group_accuracy":
@@ -293,9 +312,11 @@ class SoCFlow(Strategy):
     def _charge_epoch(self, config: RunConfig, cost: CostModel,
                       mapping: MappingResult, plan: CommunicationPlan,
                       controller: MixedPrecisionController,
-                      scheduler: GlobalScheduler, mixed: bool) -> None:
+                      scheduler: GlobalScheduler, mixed: bool,
+                      epoch: int = 0) -> None:
         """Advance the simulated clock for one full-scale epoch."""
         options = self.options
+        telemetry = cost.telemetry
         n = mapping.num_groups
         # SoCs actually hosting groups this epoch (survivors only, when
         # faults shrank the cluster).
@@ -319,14 +340,17 @@ class SoCFlow(Strategy):
 
         from ..distributed.base import OVERLAP_FRACTION
         payload = cost.grad_bytes
+        cg_times: list[float] | None = None
         if mapping.num_groups == 1:
             raw = cost.fabric.ring_allreduce_time(mapping.groups[0], payload)
             hidden = min(raw, OVERLAP_FRACTION * compute_s)
+            cg_times = [raw]
         elif options.planning:
             # Figure 7: the planned CG schedule interleaves each CG's sync
             # with the other CG's compute, hiding up to a full compute
             # window of synchronisation.
-            raw = sum(plan.planned_sync_seconds(cost.fabric, payload))
+            cg_times = plan.planned_sync_seconds(cost.fabric, payload)
+            raw = sum(cg_times)
             hidden = min(raw, compute_s)
         else:
             raw = plan.unplanned_sync_seconds(cost.fabric, payload)
@@ -338,6 +362,7 @@ class SoCFlow(Strategy):
         # N * BS_g samples of the epoch.
         steps = max(1, -(-config.sim_samples_per_epoch
                          // (n * config.sim_global_batch)))
+        t0 = cost.clock.now
         cost.clock.advance(steps * compute_s, "compute")
         cost.clock.advance(steps * sync_s, "sync")
         cost.clock.attribute(steps * hidden, "sync")
@@ -349,14 +374,142 @@ class SoCFlow(Strategy):
                                    include_idle=False)
         cost.energy.charge_compute(steps * update_s, num_active_socs, 1.0)
 
+        if telemetry.tracer.enabled:
+            self._emit_step_spans(telemetry.tracer, mapping, plan, t0, steps,
+                                  compute_s, sync_s, hidden, update_s, raw,
+                                  cg_times, slowdown, cpu_n, npu_n)
+
         # Epoch tail: one unhidden intra-group sync + the leader ring
         # (delayed aggregation) — "the extra delay of SoCFlow is only one
         # intra-group and inter-group synchronization time".
+        tail_t0 = cost.clock.now
         tail = plan.planned_sync_seconds(cost.fabric, payload)
         leaders = [socs[0] for socs in mapping.groups]
         inter = (cost.fabric.ring_allreduce_time(leaders, payload)
                  if len(leaders) > 1 else 0.0)
         cost.charge_epoch_sync(sum(tail) + inter, num_active_socs)
+
+        if telemetry.tracer.enabled:
+            self._emit_tail_spans(telemetry.tracer, mapping, plan, tail_t0,
+                                  tail, inter, leaders)
+        if telemetry.metrics.enabled:
+            metrics = telemetry.metrics
+            # Exact NIC accounting: `steps` in-epoch intra-group syncs,
+            # one tail sync, one leader ring.
+            intra = cost.fabric.pcb_ring_bytes(mapping.groups, payload)
+            for pcb, nbytes in sorted(intra.items()):
+                metrics.counter("nic.bytes", pcb=pcb).inc(
+                    (steps + 1) * nbytes)
+            for pcb, nbytes in sorted(
+                    cost.fabric.pcb_ring_bytes([leaders], payload).items()):
+                metrics.counter("nic.bytes", pcb=pcb).inc(nbytes)
+            metrics.gauge("compute.slowdown").set(slowdown)
+            metrics.histogram("sync.hidden_fraction").observe(
+                hidden / raw if raw > 0 else 0.0)
+
+    # ------------------------------------------------------------------
+    # Telemetry emission (pure observation: no simulation state touched)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _emit_step_spans(tracer, mapping: MappingResult,
+                         plan: CommunicationPlan, t0: float, steps: int,
+                         compute_s: float, sync_s: float, hidden: float,
+                         update_s: float, raw: float,
+                         cg_times: "list[float] | None", slowdown: float,
+                         cpu_n: float, npu_n: float) -> None:
+        """Spans for the in-epoch step windows, per SoC with LG/CG tags.
+
+        The epoch's ``steps`` identical step windows are drawn as one
+        aggregated compute span and one sync span per SoC; the planned
+        CG schedule lays each CG's visible share out sequentially, the
+        unplanned fallback draws every ring concurrently.  ``args``
+        carry the raw (pre-hiding) and hidden seconds so the trace
+        accounts for overlapped communication too.
+        """
+        compute_end = t0 + steps * compute_s
+        for lg, socs in enumerate(mapping.groups):
+            for soc in socs:
+                tracer.span("compute", t0, steps * compute_s, soc=soc,
+                            lg=lg, steps=steps, slowdown=slowdown,
+                            cpu_samples=cpu_n, npu_samples=npu_n)
+        visible = steps * sync_s
+        if cg_times is not None:
+            cursor = compute_end
+            for cg_idx, cg in enumerate(plan.cgs):
+                if cg_idx >= len(cg_times):
+                    break
+                share = (cg_times[cg_idx] / raw * visible if raw > 0
+                         else 0.0)
+                for lg in cg:
+                    for soc in mapping.groups[lg]:
+                        tracer.span("allreduce", cursor, share, soc=soc,
+                                    lg=lg, cg=cg_idx,
+                                    raw_s=steps * cg_times[cg_idx],
+                                    hidden_s=steps * hidden)
+                cursor += share
+        else:
+            for lg, socs in enumerate(mapping.groups):
+                for soc in socs:
+                    tracer.span("allreduce", compute_end, visible, soc=soc,
+                                lg=lg, raw_s=steps * raw,
+                                hidden_s=steps * hidden)
+        tracer.span("update", compute_end + visible, steps * update_s,
+                    steps=steps)
+
+    @staticmethod
+    def _emit_tail_spans(tracer, mapping: MappingResult,
+                         plan: CommunicationPlan, tail_t0: float,
+                         tail: list[float], inter: float,
+                         leaders: list[int]) -> None:
+        """The epoch tail: per-CG intra-group syncs, then the leader ring."""
+        cursor = tail_t0
+        for cg_idx, cg in enumerate(plan.cgs):
+            if cg_idx >= len(tail):
+                break
+            for lg in cg:
+                for soc in mapping.groups[lg]:
+                    tracer.span("allreduce", cursor, tail[cg_idx],
+                                name="allreduce:tail", soc=soc, lg=lg,
+                                cg=cg_idx)
+            cursor += tail[cg_idx]
+        if inter > 0:
+            for lg, leader in enumerate(leaders):
+                tracer.span("leader_sync", cursor, inter, soc=leader,
+                            lg=lg, num_leaders=len(leaders))
+
+    @staticmethod
+    def _record_epoch_telemetry(telemetry, cost: CostModel, epoch: int,
+                                epoch_t0: float, phases0: dict,
+                                accuracy: float, controller, mapping) -> None:
+        """Per-epoch report row, epoch span, and epoch-level metrics."""
+        phases1 = cost.clock.breakdown()
+        delta = {phase: phases1.get(phase, 0.0) - phases0.get(phase, 0.0)
+                 for phase in phases1}
+        seconds = cost.clock.now - epoch_t0
+        alpha = controller.alpha if controller is not None else None
+        telemetry.record_epoch(
+            epoch=epoch, seconds=seconds,
+            compute_s=delta.get("compute", 0.0),
+            sync_s=delta.get("sync", 0.0),
+            update_s=delta.get("update", 0.0),
+            recovery_s=delta.get("recovery") or None,
+            accuracy=accuracy, alpha=alpha,
+            retries=cost.fabric.total_retries)
+        if telemetry.tracer.enabled:
+            telemetry.tracer.span(
+                "epoch", epoch_t0, seconds, name=f"epoch {epoch}",
+                accuracy=accuracy, num_groups=mapping.num_groups,
+                **({"alpha": alpha} if alpha is not None else {}))
+        metrics = telemetry.metrics
+        if metrics.enabled:
+            metrics.counter("epochs").inc()
+            metrics.histogram("epoch.seconds").observe(seconds)
+            for phase, value in sorted(delta.items()):
+                metrics.counter("phase.seconds", phase=phase).inc(value)
+            if alpha is not None:
+                metrics.gauge("mixed.alpha").set(alpha)
+                metrics.gauge("mixed.beta").set(controller.beta)
+                metrics.gauge("mixed.cpu_share").set(controller.cpu_share)
 
     @staticmethod
     def _try_resume(path: str, groups: list[GroupMixedTrainer],
@@ -387,7 +540,12 @@ class SoCFlow(Strategy):
         checkpoint.save(path)
         # writing to UFS happens off the critical path on every SoC,
         # but the leader's write is charged once per epoch
-        cost.clock.advance(checkpoint.write_seconds(), "update")
+        write_t0 = cost.clock.now
+        write_s = checkpoint.write_seconds()
+        cost.clock.advance(write_s, "update")
+        if cost.telemetry.tracer.enabled:
+            cost.telemetry.tracer.span("checkpoint", write_t0, write_s,
+                                       name="checkpoint:epoch", epoch=epoch)
 
     def _recover(self, config: RunConfig, controller,
                  groups: list[GroupMixedTrainer], dead: set[int],
@@ -421,10 +579,27 @@ class SoCFlow(Strategy):
         rollback_state, rollback_epoch = last_good
         for group in groups:
             group.load_state(rollback_state)
+        recovery_t0 = cost.clock.now
         recovery_s = scheduler.recovery_seconds(cost.grad_bytes, cost.fabric,
                                                 survivors)
-        cost.clock.advance(recovery_s, "sync")
+        # The recovery step is priced on a scratch clock under its own
+        # phase and merged in, so the per-epoch report can attribute it
+        # separately from ordinary synchronisation.
+        recovery_clock = PhaseClock()
+        recovery_clock.advance(recovery_s, "recovery")
+        cost.clock.merge(recovery_clock)
         cost.energy.charge_network(recovery_s, len(survivors))
+        telemetry = cost.telemetry
+        if telemetry.tracer.enabled:
+            telemetry.tracer.span(
+                "recovery", recovery_t0, recovery_s,
+                name=f"recovery@{epoch}", dead_socs=sorted(dead),
+                survivors=len(survivors), num_groups=mapping.num_groups,
+                rolled_back_to=rollback_epoch)
+        if telemetry.metrics.enabled:
+            telemetry.metrics.counter("recovery.count").inc()
+            telemetry.metrics.histogram("recovery.seconds").observe(
+                recovery_s)
         recoveries.append({
             "epoch": epoch,
             "dead_socs": sorted(dead),
@@ -440,8 +615,17 @@ class SoCFlow(Strategy):
         """Terminate whole logical groups; checkpoint their models."""
         newly = min(event.num_groups, len(groups) - preempted - 1)
         if newly > 0:
+            checkpoint_t0 = cost.clock.now
             checkpoint_s = GlobalScheduler.checkpoint_seconds(model_bytes)
             cost.clock.advance(checkpoint_s, "sync")
+            telemetry = cost.telemetry
+            if telemetry.tracer.enabled:
+                telemetry.tracer.event("preemption", checkpoint_t0,
+                                       epoch=event.epoch, num_groups=newly)
+                telemetry.tracer.span("checkpoint", checkpoint_t0,
+                                      checkpoint_s, name="checkpoint:preempt",
+                                      model_bytes=model_bytes)
+            telemetry.metrics.counter("preemptions.groups").inc(newly)
         return preempted + max(0, newly)
 
 

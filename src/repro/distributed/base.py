@@ -29,6 +29,7 @@ from ..nn.modules import Module
 from ..nn.models import build_model
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor, no_grad
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["RunConfig", "CostModel", "StrategyResult", "Strategy",
            "make_model", "evaluate_accuracy", "fp32_train_step"]
@@ -69,6 +70,11 @@ class RunConfig:
     #: freeze the backbone after loading ``init_state`` (ResNet-50 only)
     freeze_backbone: bool = False
     #: INT8 path settings are owned by the SoCFlow strategy
+
+    #: telemetry context (tracer + metrics); ``None`` = no instrumentation.
+    #: Strategies read it through :class:`CostModel`, which anchors the
+    #: tracer to the run's simulated clock.
+    telemetry: Telemetry | None = None
 
     #: unplanned-fault timeline (crashes, NIC flaps, stragglers, storms)
     fault_schedule: FaultSchedule | None = None
@@ -136,12 +142,18 @@ def fp32_train_step(model: Module, optimizer: SGD, x: np.ndarray,
 class CostModel:
     """Calibrated per-phase cost calculator at paper scale."""
 
-    def __init__(self, config: RunConfig):
+    def __init__(self, config: RunConfig, telemetry: Telemetry | None = None):
+        """``telemetry`` must be passed explicitly by the strategy that
+        owns the run's timeline; probe cost models (group sizing, Eq. 1
+        planning) leave it unset so their scratch clocks never rebind
+        the tracer."""
         self.config = config
         self.topology = config.topology
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.profile: ModelProfile = model_profile(config.model_name)
         self.fabric = NetworkFabric(config.topology,
-                                    num_tensors=self.profile.num_tensors)
+                                    num_tensors=self.profile.num_tensors,
+                                    telemetry=self.telemetry)
         soc = config.topology.soc
         # Measured Fig-4a latencies when available (scaled by the SoC's
         # throughput relative to the SD865 they were measured on);
@@ -160,6 +172,8 @@ class CostModel:
             self.t_npu_sample = self.profile.flops_per_sample / soc.npu.flops
         self.energy = EnergyModel(soc)
         self.clock = PhaseClock()
+        if self.telemetry.enabled:
+            self.telemetry.attach(clock=self.clock, topology=self.topology)
 
     # -- sizes ----------------------------------------------------------
     @property
@@ -196,6 +210,15 @@ class CostModel:
             hidden = min(sync_s, OVERLAP_FRACTION * compute_s)
             sync_s -= hidden
         update_s = self.update_seconds()
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            t0 = self.clock.now
+            tracer.span("compute", t0, compute_s, num_socs=num_socs,
+                        cpu_fraction=cpu_fraction)
+            if sync_s > 0 or hidden > 0:
+                tracer.span("sync", t0 + compute_s, sync_s,
+                            hidden_s=hidden, num_socs=num_socs)
+            tracer.span("update", t0 + compute_s + sync_s, update_s)
         self.clock.advance(compute_s, "compute")
         self.clock.advance(sync_s, "sync")
         self.clock.attribute(hidden, "sync")
@@ -301,6 +324,18 @@ class Strategy(abc.ABC):
                 history: list[float], state: dict,
                 extra: dict | None = None) -> StrategyResult:
         epochs_to_target = state.get("epochs_to_target")
+        extra = dict(extra or {})
+        # Network observability: retries and surviving degradations are
+        # tracked by the fabric for every strategy; surface them in the
+        # run summary (and mirror them as metrics when a registry rides
+        # along).
+        extra.setdefault("network_retries", cost.fabric.total_retries)
+        extra.setdefault("degraded_pcbs", cost.fabric.degraded_pcbs)
+        metrics = cost.telemetry.metrics
+        if metrics.enabled:
+            for phase, seconds in cost.clock.breakdown().items():
+                metrics.gauge("run.phase_seconds", phase=phase).set(seconds)
+            metrics.gauge("run.sim_time_s").set(cost.clock.now)
         return StrategyResult(
             strategy=name,
             accuracy_history=history,
@@ -310,5 +345,5 @@ class Strategy(abc.ABC):
             epochs_run=len(history),
             epochs_to_target=epochs_to_target,
             converged=epochs_to_target is not None,
-            extra=extra or {},
+            extra=extra,
         )

@@ -56,7 +56,7 @@ class FedAvg(Strategy):
         return max(4, min(config.batch_size, shard_size // 4 or 1))
 
     def train(self, config: RunConfig) -> StrategyResult:
-        cost = CostModel(config)
+        cost = CostModel(config, telemetry=config.telemetry)
         num_clients = self.num_clients(config)
         global_model = make_model(config)
         shards = self._partition(config, num_clients)
@@ -94,7 +94,8 @@ class FedAvg(Strategy):
                         fp32_train_step(client_model, optimizer, x, y)
                 client_states.append(client_model.state_dict())
             if client_states:
-                global_model.load_state_dict(average_states(client_states))
+                global_model.load_state_dict(average_states(
+                    client_states, metrics=cost.telemetry.metrics))
 
             cost.clock.advance(compute_s, "compute")
             cost.energy.charge_compute(compute_s, num_clients, 1.0)

@@ -30,7 +30,7 @@ class LocalSingleSoC(Strategy):
             num_socs=1, socs_per_pcb=config.topology.socs_per_pcb,
             soc=config.topology.soc)
         local_config = RunConfig(**{**config.__dict__, "topology": single})
-        cost = CostModel(local_config)
+        cost = CostModel(local_config, telemetry=config.telemetry)
         model = make_model(config)
         optimizer = SGD(model.parameters(), lr=config.lr,
                         momentum=config.momentum,

@@ -46,7 +46,7 @@ class SsgdStrategy(Strategy):
 
     # -- main loop ---------------------------------------------------------
     def train(self, config: RunConfig) -> StrategyResult:
-        cost = CostModel(config)
+        cost = CostModel(config, telemetry=config.telemetry)
         model = make_model(config)
         optimizer = SGD(model.parameters(), lr=config.lr,
                         momentum=config.momentum,

@@ -37,7 +37,7 @@ class StaleSynchronous(Strategy):
         self.staleness = staleness
 
     def train(self, config: RunConfig) -> StrategyResult:
-        cost = CostModel(config)
+        cost = CostModel(config, telemetry=config.telemetry)
         chains = [make_model(config) for _ in range(_NUM_CHAINS)]
         shared = chains[0].state_dict()
         for chain in chains:

@@ -94,7 +94,8 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
                     seed: int = 0, max_epochs: int | None = None,
                     target_accuracy: float | None = None,
                     fault_schedule=None,
-                    fault_mode: str = "fail-stop") -> RunConfig:
+                    fault_mode: str = "fail-stop",
+                    telemetry=None) -> RunConfig:
     """Build the RunConfig for one workload at one scale."""
     workload = WORKLOADS[workload_key]
     preset = SCALE_PRESETS[preset_name]
@@ -116,6 +117,7 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
         num_groups=num_groups,
         fault_schedule=fault_schedule,
         fault_mode=fault_mode,
+        telemetry=telemetry,
     )
     if workload.transfer_from is not None:
         config = pretrain_for_transfer(config, workload, preset, seed)

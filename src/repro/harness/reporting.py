@@ -1,4 +1,9 @@
-"""Plain-text table/series rendering for the benchmark harness."""
+"""Plain-text table/series rendering for the benchmark harness.
+
+This is the fallback renderer behind the telemetry subsystem's
+per-epoch and metrics summaries (:mod:`repro.telemetry.export`) as
+well as the benchmark suite's figure tables.
+"""
 
 from __future__ import annotations
 
@@ -11,19 +16,41 @@ def _cell(value) -> str:
     if isinstance(value, float):
         if value == 0:
             return "0"
-        if abs(value) >= 1000 or abs(value) < 0.01:
+        if abs(value) >= 1e7:
+            return f"{value:.3e}"
+        if abs(value) >= 1000:
+            # fixed-point keeps wide columns comparable digit-for-digit
+            # (scientific notation made >1e4 values unalignable)
+            return f"{value:,.1f}"
+        if abs(value) < 0.01:
             return f"{value:.3g}"
         return f"{value:.3f}".rstrip("0").rstrip(".")
     return str(value)
 
 
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
-    """Fixed-width text table with a header rule."""
+    """Fixed-width text table with a header rule.
+
+    Columns whose every non-empty value is a number are right-aligned,
+    so signs and magnitudes line up (mixed columns and labels stay
+    left-aligned).
+    """
     table = [[_cell(v) for v in row] for row in rows]
+    numeric = [all(_is_numeric(row[i]) or row[i] in ("", None)
+                   for row in rows) and any(_is_numeric(row[i])
+                                            for row in rows)
+               for i in range(len(headers))] if rows else \
+              [False] * len(headers)
     widths = [max(len(h), *(len(r[i]) for r in table)) if table else len(h)
               for i, h in enumerate(headers)]
+
     def line(cells):
-        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return "  ".join(c.rjust(w) if right else c.ljust(w)
+                         for c, w, right in zip(cells, widths, numeric))
     rule = "  ".join("-" * w for w in widths)
     return "\n".join([line(headers), rule] + [line(r) for r in table])
 

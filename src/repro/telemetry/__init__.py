@@ -1,0 +1,29 @@
+"""Cluster-wide telemetry: tracing, metrics and exporters.
+
+- :mod:`tracer` — typed spans/events on the simulated clock with
+  SoC/PCB/LG/CG attribution (:class:`Tracer`), and the zero-overhead
+  :class:`NullTracer` default.
+- :mod:`metrics` — :class:`MetricsRegistry` of labeled counters,
+  gauges and histograms with percentile summaries.
+- :mod:`context` — the :class:`Telemetry` bundle threaded through
+  ``RunConfig`` into every layer of the simulator.
+- :mod:`export` — Chrome-trace JSON (one process per PCB, one thread
+  per SoC), JSONL event logs, and the per-epoch/metrics tables.
+"""
+
+from .context import NULL_TELEMETRY, Telemetry
+from .export import (render_epoch_table, render_metrics_table,
+                     to_chrome_trace, to_jsonl, write_chrome_trace,
+                     write_jsonl, write_trace)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      NullMetricsRegistry)
+from .tracer import SPAN_KINDS, NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "Telemetry", "NULL_TELEMETRY",
+    "Tracer", "NullTracer", "TraceRecord", "SPAN_KINDS",
+    "MetricsRegistry", "NullMetricsRegistry", "Counter", "Gauge",
+    "Histogram",
+    "to_chrome_trace", "to_jsonl", "write_chrome_trace", "write_jsonl",
+    "write_trace", "render_epoch_table", "render_metrics_table",
+]

@@ -1,0 +1,64 @@
+"""The telemetry context threaded through the simulator.
+
+One :class:`Telemetry` object bundles a tracer and a metrics registry
+and rides on :class:`~repro.distributed.base.RunConfig`; the cost
+model, network fabric, scheduler and strategies all read it from there.
+The module-level :data:`NULL_TELEMETRY` singleton is the default
+everywhere: both of its halves are no-ops and ``enabled`` is False, so
+instrumented call sites can skip attribution work entirely and an
+untraced run is bit-identical to the pre-telemetry code path.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry, NullMetricsRegistry
+from .tracer import NullTracer, Tracer
+
+__all__ = ["Telemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """Tracer + metrics + the simulated clock they are anchored to."""
+
+    def __init__(self, tracer=None, metrics=None):
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = (metrics if metrics is not None
+                        else NullMetricsRegistry())
+        self.clock = None
+        self.topology = None
+        #: per-epoch report rows (see :meth:`record_epoch`)
+        self.epoch_rows: list[dict] = []
+
+    @classmethod
+    def active(cls) -> "Telemetry":
+        """A fully-enabled context: real tracer + real registry."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    def attach(self, clock=None, topology=None) -> None:
+        """Bind the simulated clock / topology the records refer to.
+
+        Called by the owning :class:`~repro.distributed.base.CostModel`;
+        probe cost models (group-size warm-up, Eq. 1 planning) never
+        attach, so their throwaway clocks cannot hijack the timeline.
+        """
+        if clock is not None:
+            self.clock = clock
+        if topology is not None:
+            self.topology = topology
+            self.tracer.bind_topology(topology)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (0 before a clock is attached)."""
+        return self.clock.now if self.clock is not None else 0.0
+
+    def record_epoch(self, **row) -> None:
+        """Append one per-epoch report row (phase deltas, accuracy, …)."""
+        self.epoch_rows.append(dict(row))
+
+
+NULL_TELEMETRY = Telemetry()

@@ -1,0 +1,165 @@
+"""Trace/metrics exporters.
+
+Three views of one run's telemetry:
+
+- :func:`to_chrome_trace` — a ``chrome://tracing`` / Perfetto-compatible
+  JSON object: one *process* per PCB, one *thread* per SoC, plus a
+  ``cluster`` process for control-board work (dispatch, recovery,
+  epoch markers).  Open the written file directly in Perfetto.
+- :func:`to_jsonl` — one JSON object per trace record, in emission
+  order.  Deterministic byte-for-byte for a fixed seed + fault spec.
+- :func:`render_epoch_table` / :func:`render_metrics_table` — the
+  human-readable per-epoch and metrics summaries, built on the
+  harness's :func:`~repro.harness.reporting.format_table` renderer.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "to_jsonl",
+           "write_jsonl", "write_trace", "render_epoch_table",
+           "render_metrics_table"]
+
+#: pid of the control-board/cluster-level process in Chrome traces;
+#: PCB ``k`` gets pid ``k + 1``.
+_CLUSTER_PID = 0
+#: tid for records attributed to a PCB but no specific SoC (NIC lanes)
+_NIC_TID = 0
+
+
+def _pid_tid(record) -> tuple[int, int]:
+    if record.pcb is None:
+        return _CLUSTER_PID, 0
+    pid = record.pcb + 1
+    tid = record.soc + 1 if record.soc is not None else _NIC_TID
+    return pid, tid
+
+
+def to_chrome_trace(tracer) -> dict:
+    """Convert a tracer's records to the Chrome trace-event format."""
+    events: list[dict] = []
+    seen_pids: dict[int, str] = {}
+    seen_tids: dict[tuple[int, int], str] = {}
+    for record in tracer.records:
+        pid, tid = _pid_tid(record)
+        if pid not in seen_pids:
+            seen_pids[pid] = ("cluster" if pid == _CLUSTER_PID
+                              else f"PCB {pid - 1}")
+        if (pid, tid) not in seen_tids:
+            if pid == _CLUSTER_PID:
+                name = "scheduler"
+            elif tid == _NIC_TID:
+                name = "NIC"
+            else:
+                name = f"SoC {tid - 1}"
+            seen_tids[(pid, tid)] = name
+        args = dict(record.args)
+        for key in ("lg", "cg"):
+            value = getattr(record, key)
+            if value is not None:
+                args[key] = value
+        event = {
+            "name": record.name,
+            "cat": record.kind,
+            "ph": record.ph,
+            "ts": round(record.ts_s * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if record.ph == "X":
+            event["dur"] = round(record.dur_s * 1e6, 3)
+        else:
+            event["s"] = "g"        # instants are global-scope markers
+        if args:
+            event["args"] = args
+        events.append(event)
+
+    metadata: list[dict] = []
+    for pid, name in sorted(seen_pids.items()):
+        metadata.append({"ph": "M", "pid": pid, "name": "process_name",
+                         "args": {"name": name}})
+        metadata.append({"ph": "M", "pid": pid, "name": "process_sort_index",
+                         "args": {"sort_index": pid}})
+    for (pid, tid), name in sorted(seen_tids.items()):
+        metadata.append({"ph": "M", "pid": pid, "tid": tid,
+                         "name": "thread_name", "args": {"name": name}})
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(tracer), fh, sort_keys=True)
+        fh.write("\n")
+
+
+def to_jsonl(tracer) -> str:
+    """One JSON object per record, in emission order."""
+    return "\n".join(json.dumps(record.to_dict(), sort_keys=True)
+                     for record in tracer.records)
+
+
+def write_jsonl(tracer, path) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(tracer))
+        fh.write("\n")
+
+
+def write_trace(tracer, path, fmt: str = "chrome") -> None:
+    """Write ``tracer`` to ``path`` in ``fmt`` ('chrome' or 'jsonl')."""
+    if fmt == "chrome":
+        write_chrome_trace(tracer, path)
+    elif fmt == "jsonl":
+        write_jsonl(tracer, path)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}")
+
+
+# ----------------------------------------------------------------------
+# Human-readable tables
+# ----------------------------------------------------------------------
+_EPOCH_COLUMNS = [("epoch", "epoch"), ("seconds", "seconds"),
+                  ("compute_s", "compute"), ("sync_s", "sync"),
+                  ("update_s", "update"), ("recovery_s", "recovery"),
+                  ("accuracy", "accuracy"), ("alpha", "alpha"),
+                  ("retries", "retries")]
+
+
+def render_epoch_table(epoch_rows) -> str:
+    """The per-epoch report: phase breakdown + accuracy + alpha.
+
+    ``epoch_rows`` come from :meth:`Telemetry.record_epoch`; columns
+    whose value no row carries are dropped, so strategies that never
+    report alpha or recovery get a compact table.
+    """
+    from ..harness.reporting import format_table
+    if not epoch_rows:
+        return "(no epochs recorded)"
+    columns = [(key, header) for key, header in _EPOCH_COLUMNS
+               if any(row.get(key) is not None for row in epoch_rows)]
+    headers = [header for _, header in columns]
+    rows = [[row.get(key, "") if row.get(key) is not None else ""
+             for key, _ in columns] for row in epoch_rows]
+    return format_table(headers, rows)
+
+
+def render_metrics_table(metrics) -> str:
+    """Metrics summary table (fallback renderer: ``format_table``)."""
+    from ..harness.reporting import format_table
+    rows = metrics.collect()
+    if not rows:
+        return "(no metrics recorded)"
+    table = []
+    for row in rows:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        if row["type"] == "histogram" and row.get("count"):
+            value = row["mean"]
+            detail = (f"n={row['count']} p50={row['p50']:.4g} "
+                      f"p90={row['p90']:.4g} max={row['max']:.4g}")
+        else:
+            value = row.get("value", "")
+            detail = ""
+        table.append([row["name"], labels, row["type"],
+                      value if value is not None else "", detail])
+    return format_table(["metric", "labels", "type", "value", "detail"],
+                        table)

@@ -1,0 +1,183 @@
+"""Metrics registry: labeled counters, gauges and histograms.
+
+The registry is the scalar/series side of the telemetry subsystem:
+bytes over each PCB NIC, retry counts, per-phase seconds, alpha/beta
+per epoch, straggler slowdowns.  Metrics are identified by a name plus
+a sorted label set, so ``registry.counter("nic.bytes", pcb=3)`` is one
+series and ``pcb=4`` another.
+
+Everything is deterministic: histograms keep their raw observations in
+arrival order and percentiles use nearest-rank interpolation over a
+sorted copy, so two identical runs export identical summaries.  The
+:class:`NullMetricsRegistry` default makes every instrument a shared
+no-op, keeping the untraced hot path free of bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullMetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def summary(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-set value, with the full series kept for per-epoch reports."""
+
+    kind = "gauge"
+
+    def __init__(self):
+        self.value: float | None = None
+        self.series: list[float] = []
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.series.append(self.value)
+
+    def summary(self) -> dict:
+        return {"value": self.value, "observations": len(self.series)}
+
+
+class Histogram:
+    """Raw-observation histogram with percentile summaries."""
+
+    kind = "histogram"
+
+    def __init__(self):
+        self.observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.observations.append(float(value))
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.observations:
+            raise ValueError("empty histogram has no percentiles")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.observations)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        if not self.observations:
+            return {"count": 0}
+        return {
+            "count": len(self.observations),
+            "sum": sum(self.observations),
+            "min": min(self.observations),
+            "mean": sum(self.observations) / len(self.observations),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": max(self.observations),
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument type."""
+
+    kind = "null"
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Accepts every call, records nothing."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def collect(self) -> list[dict]:
+        return []
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by (name, sorted labels)."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: dict[tuple, object] = {}
+
+    def _get(self, factory, name: str, labels: dict):
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(f"metric {name!r}{labels} already registered "
+                            f"as {type(metric).__name__}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    def collect(self) -> list[dict]:
+        """All series as dict rows, sorted by (name, labels)."""
+        rows = []
+        for (name, labels), metric in sorted(self._metrics.items()):
+            rows.append({"name": name, "labels": dict(labels),
+                         "type": metric.kind, **metric.summary()})
+        return rows
+
+    def to_jsonl(self) -> str:
+        """One JSON object per series; byte-stable across identical runs."""
+        return "\n".join(json.dumps(row, sort_keys=True)
+                         for row in self.collect())
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+            fh.write("\n")

@@ -1,0 +1,122 @@
+"""Structured event tracing on the simulated clock.
+
+A :class:`Tracer` records typed spans and instant events as the
+simulator charges time, with SoC/PCB/logical-group/communication-group
+attribution.  Everything is driven by the *simulated* clock
+(:class:`~repro.cluster.clock.PhaseClock`), so a trace of a 60-SoC run
+renders the paper-scale timeline, not the reduced numpy execution.
+
+The default is a :class:`NullTracer` whose methods are no-ops and whose
+``enabled`` flag lets hot paths skip building attribution lists
+entirely, so an untraced run does no extra work and stays bit-identical
+to a build without telemetry at all.
+
+Records are plain, deterministic data: two runs with the same seed and
+fault schedule produce byte-identical exports (see
+:mod:`repro.telemetry.export`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SPAN_KINDS", "TraceRecord", "NullTracer", "Tracer"]
+
+#: the span/event taxonomy (DESIGN.md "Telemetry").  ``compute``,
+#: ``allreduce``, ``leader_sync``, ``nic_wait``, ``checkpoint``,
+#: ``recovery`` and ``fault`` are the paper-facing kinds; the rest
+#: cover the remaining charged phases so a trace accounts for every
+#: simulated second.
+SPAN_KINDS = frozenset({
+    "compute", "allreduce", "leader_sync", "nic_wait", "checkpoint",
+    "recovery", "fault", "dispatch", "update", "sync", "epoch",
+    "preemption",
+})
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One span (``ph='X'``) or instant event (``ph='i'``)."""
+
+    kind: str
+    name: str
+    ph: str                 # "X" = complete span, "i" = instant event
+    ts_s: float             # simulated start time, seconds
+    dur_s: float            # simulated duration (0 for instants)
+    soc: int | None = None
+    pcb: int | None = None
+    lg: int | None = None   # logical group
+    cg: int | None = None   # communication group
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "name": self.name, "ph": self.ph,
+               "ts_s": self.ts_s, "dur_s": self.dur_s}
+        for key in ("soc", "pcb", "lg", "cg"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class NullTracer:
+    """Records nothing; ``enabled`` gates any per-span work at call sites."""
+
+    enabled = False
+
+    def bind_topology(self, topology) -> None:
+        pass
+
+    def span(self, kind, start_s, dur_s, **attrs) -> None:
+        pass
+
+    def event(self, kind, ts_s, **attrs) -> None:
+        pass
+
+
+class Tracer:
+    """Append-only recorder of typed spans/events on the simulated clock."""
+
+    enabled = True
+
+    def __init__(self, topology=None):
+        self.records: list[TraceRecord] = []
+        self.topology = topology
+
+    def bind_topology(self, topology) -> None:
+        """Attach the cluster topology so ``soc`` attribution derives
+        the owning PCB automatically."""
+        self.topology = topology
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, ph: str, ts_s: float, dur_s: float,
+                name: str | None, soc, pcb, lg, cg, args: dict) -> None:
+        if kind not in SPAN_KINDS:
+            raise ValueError(f"unknown span kind {kind!r}; "
+                             f"expected one of {sorted(SPAN_KINDS)}")
+        if dur_s < 0:
+            raise ValueError(f"span duration must be non-negative: {dur_s}")
+        if pcb is None and soc is not None and soc >= 0 \
+                and self.topology is not None:
+            pcb = self.topology.pcb_of(soc)
+        self.records.append(TraceRecord(
+            kind=kind, name=name or kind, ph=ph, ts_s=float(ts_s),
+            dur_s=float(dur_s), soc=soc, pcb=pcb, lg=lg, cg=cg, args=args))
+
+    def span(self, kind: str, start_s: float, dur_s: float, *,
+             name: str | None = None, soc: int | None = None,
+             pcb: int | None = None, lg: int | None = None,
+             cg: int | None = None, **args) -> None:
+        """Record a complete span ``[start_s, start_s + dur_s)``."""
+        self._record(kind, "X", start_s, dur_s, name, soc, pcb, lg, cg, args)
+
+    def event(self, kind: str, ts_s: float, *, name: str | None = None,
+              soc: int | None = None, pcb: int | None = None,
+              lg: int | None = None, cg: int | None = None, **args) -> None:
+        """Record an instant event at ``ts_s``."""
+        self._record(kind, "i", ts_s, 0.0, name, soc, pcb, lg, cg, args)

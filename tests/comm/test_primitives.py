@@ -36,6 +36,20 @@ class TestAverage:
         b = weighted_average_states([state(1.0), state(3.0)], [100, 100])
         np.testing.assert_allclose(a["w"], b["w"])
 
+    def test_merge_metrics_accounted(self):
+        from repro.telemetry import MetricsRegistry
+        reg = MetricsRegistry()
+        out = average_states([state(1.0), state(3.0)], metrics=reg)
+        assert reg.counter("comm.merges").value == 1
+        nbytes = sum(np.asarray(v).nbytes for v in out.values())
+        assert reg.counter("comm.merged_bytes").value == nbytes * 2
+
+    def test_null_metrics_no_op(self):
+        from repro.telemetry import NullMetricsRegistry
+        out = average_states([state(1.0), state(3.0)],
+                             metrics=NullMetricsRegistry())
+        np.testing.assert_allclose(out["w"], [2.0])
+
     def test_mismatched_keys_raise(self):
         bad = OrderedDict(v=np.zeros(1, dtype=np.float32))
         with pytest.raises(ValueError, match="mismatched"):

@@ -20,6 +20,31 @@ class TestFormatTable:
         out = format_table(["a"], [])
         assert "a" in out
 
+    def test_numeric_columns_right_aligned(self):
+        out = format_table(["name", "value"],
+                           [["short", 1.5], ["longer-label", -20000.25]])
+        header, _, first, second = out.splitlines()
+        # label column stays left-aligned, numeric column right-aligned:
+        # every value (and the header) ends at the same column
+        assert header.startswith("name")
+        assert len(first) == len(second) == len(header)
+        assert first.endswith("1.5")
+        assert second.endswith("-20,000.2")
+
+    def test_negative_and_large_values_share_a_column_edge(self):
+        out = format_table(["v"], [[-1.5], [12345.6], [0.25]])
+        lines = out.splitlines()[2:]
+        assert [len(line) for line in lines] == [len(lines[0])] * 3
+        assert lines[0].endswith("-1.5")
+        assert lines[1].endswith("12,345.6")
+        assert lines[2].endswith("0.25")
+
+    def test_mixed_column_stays_left_aligned(self):
+        out = format_table(["col"], [["text"], [1.0]])
+        lines = out.splitlines()
+        assert lines[2].startswith("text")
+        assert lines[3].startswith("1")
+
 
 class TestFormatSeries:
     def test_series_header_and_rows(self):

@@ -1,0 +1,113 @@
+"""Metrics registry: instruments, labels, deterministic export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (Counter, Gauge, Histogram, MetricsRegistry,
+                             NullMetricsRegistry)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_keeps_series(self):
+        g = Gauge()
+        g.set(1.0)
+        g.set(0.5)
+        assert g.value == 0.5
+        assert g.series == [1.0, 0.5]
+        assert g.summary() == {"value": 0.5, "observations": 2}
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 3.0
+        assert h.percentile(100) == 5.0
+
+    def test_summary_fields(self):
+        h = Histogram()
+        h.observe(2.0)
+        h.observe(4.0)
+        summary = h.summary()
+        assert summary["count"] == 2
+        assert summary["mean"] == 3.0
+        assert summary["min"] == 2.0 and summary["max"] == 4.0
+
+    def test_empty_histogram(self):
+        assert Histogram().summary() == {"count": 0}
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+
+    def test_percentile_range_checked(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("nic.bytes", pcb=3)
+        b = reg.counter("nic.bytes", pcb=3)
+        c = reg.counter("nic.bytes", pcb=4)
+        assert a is b and a is not c
+        assert len(reg) == 2
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_collect_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc(1)
+        reg.gauge("a.first", pcb=1).set(0.5)
+        rows = reg.collect()
+        assert [r["name"] for r in rows] == ["a.first", "z.last"]
+        assert rows[0]["labels"] == {"pcb": 1}
+        assert rows[0]["type"] == "gauge"
+        assert rows[1]["type"] == "counter"
+
+    def test_jsonl_is_byte_stable(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.histogram("epoch.seconds").observe(1.5)
+            reg.counter("retries", pcb=0).inc(3)
+            return reg
+        assert build().to_jsonl() == build().to_jsonl()
+        for line in build().to_jsonl().splitlines():
+            json.loads(line)
+
+    def test_write_jsonl(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("retries").inc()
+        path = tmp_path / "metrics.jsonl"
+        reg.write_jsonl(path)
+        assert json.loads(path.read_text())["name"] == "retries"
+
+
+class TestNullRegistry:
+    def test_all_instruments_are_noop(self):
+        reg = NullMetricsRegistry()
+        assert reg.enabled is False
+        reg.counter("a").inc(5)
+        reg.gauge("b").set(1)
+        reg.histogram("c").observe(2)
+        assert reg.collect() == []

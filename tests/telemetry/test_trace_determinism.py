@@ -1,0 +1,136 @@
+"""Trace determinism (end-to-end).
+
+Two runs with the same seed and fault schedule must export
+byte-identical JSONL traces and metrics; turning tracing on must not
+perturb the simulation (identical final weights and simulated clock).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FaultSchedule, NicDegradation, SoCCrash
+from repro.core import SoCFlow, SoCFlowOptions
+from repro.harness import make_run_config
+from repro.telemetry import Telemetry, to_jsonl
+
+
+def _schedule():
+    # the crash forces a rollback/re-group recovery; the deep NIC
+    # degradation forces retry timeouts, i.e. nic_wait spans
+    return FaultSchedule((SoCCrash(1, 3),
+                          NicDegradation(1, 0, 0.2, recover_epoch=3)))
+
+
+def _run(telemetry=None, seed=3):
+    config = make_run_config("lenet5_fmnist", "quick", num_socs=16,
+                             num_groups=4, max_epochs=3, seed=seed,
+                             fault_schedule=_schedule(),
+                             telemetry=telemetry)
+    return SoCFlow(SoCFlowOptions()).train(config)
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    results = []
+    for _ in range(2):
+        telemetry = Telemetry.active()
+        results.append((telemetry, _run(telemetry=telemetry)))
+    return results
+
+
+@pytest.fixture(scope="module")
+def untraced_run():
+    return _run(telemetry=None)
+
+
+class TestByteIdenticalExports:
+    def test_trace_jsonl_identical(self, traced_runs):
+        (tel_a, _), (tel_b, _) = traced_runs
+        a, b = to_jsonl(tel_a.tracer), to_jsonl(tel_b.tracer)
+        assert a and a == b
+
+    def test_metrics_jsonl_identical(self, traced_runs):
+        (tel_a, _), (tel_b, _) = traced_runs
+        a, b = tel_a.metrics.to_jsonl(), tel_b.metrics.to_jsonl()
+        assert a and a == b
+
+    def test_epoch_rows_identical(self, traced_runs):
+        (tel_a, _), (tel_b, _) = traced_runs
+        assert tel_a.epoch_rows == tel_b.epoch_rows
+
+
+class TestTracingIsSideEffectFree:
+    def test_final_weights_identical(self, traced_runs, untraced_run):
+        (_, traced) = traced_runs[0]
+        state_t = traced.extra["final_state"]
+        state_u = untraced_run.extra["final_state"]
+        assert set(state_t) == set(state_u)
+        for key in state_t:
+            assert np.array_equal(state_t[key], state_u[key]), key
+
+    def test_simulated_clock_identical(self, traced_runs, untraced_run):
+        (_, traced) = traced_runs[0]
+        assert traced.sim_time_s == untraced_run.sim_time_s
+        assert traced.breakdown == untraced_run.breakdown
+
+    def test_accuracy_and_recoveries_identical(self, traced_runs,
+                                               untraced_run):
+        (_, traced) = traced_runs[0]
+        assert traced.accuracy_history == untraced_run.accuracy_history
+        assert traced.extra["recoveries"] == untraced_run.extra["recoveries"]
+        assert (traced.extra["network_retries"]
+                == untraced_run.extra["network_retries"])
+
+
+class TestFaultRunSpanContent:
+    def test_required_kinds_present(self, traced_runs):
+        (telemetry, _) = traced_runs[0]
+        kinds = {r.kind for r in telemetry.tracer.records}
+        for want in ("compute", "allreduce", "leader_sync", "nic_wait",
+                     "recovery", "fault", "epoch"):
+            assert want in kinds, want
+
+    def test_compute_spans_have_soc_pcb_lg(self, traced_runs):
+        (telemetry, _) = traced_runs[0]
+        computes = [r for r in telemetry.tracer.records
+                    if r.kind == "compute"]
+        assert computes
+        topo = telemetry.topology
+        for record in computes:
+            assert record.soc is not None and record.lg is not None
+            assert record.pcb == topo.pcb_of(record.soc)
+
+    def test_nic_wait_spans_carry_pcb_and_retries(self, traced_runs):
+        (telemetry, _) = traced_runs[0]
+        waits = [r for r in telemetry.tracer.records if r.kind == "nic_wait"]
+        assert waits
+        assert any(r.args.get("retries", 0) > 0 for r in waits)
+        assert all(r.pcb is not None for r in waits)
+
+    def test_allreduce_spans_carry_cg(self, traced_runs):
+        (telemetry, _) = traced_runs[0]
+        reduces = [r for r in telemetry.tracer.records
+                   if r.kind == "allreduce"]
+        assert reduces and all(r.cg is not None for r in reduces)
+
+    def test_recovery_span_matches_result(self, traced_runs):
+        (telemetry, result) = traced_runs[0]
+        recoveries = [r for r in telemetry.tracer.records
+                      if r.kind == "recovery" and r.ph == "X"]
+        assert len(recoveries) == len(result.extra["recoveries"])
+        span = recoveries[0]
+        assert span.dur_s > 0
+        assert span.args["dead_socs"] == [3]
+
+    def test_timeline_monotone_nonnegative(self, traced_runs):
+        (telemetry, result) = traced_runs[0]
+        for record in telemetry.tracer.records:
+            assert record.ts_s >= 0
+            assert record.ts_s + record.dur_s <= result.sim_time_s + 1e-9
+
+    def test_metrics_cover_nic_and_phases(self, traced_runs):
+        (telemetry, _) = traced_runs[0]
+        names = {row["name"] for row in telemetry.metrics.collect()}
+        for want in ("nic.bytes", "net.retries", "phase.seconds",
+                     "epoch.seconds", "recovery.count", "faults.injected"):
+            assert want in names, want

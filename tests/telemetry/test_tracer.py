@@ -1,0 +1,64 @@
+"""Tracer: span taxonomy, attribution, null default."""
+
+import pytest
+
+from repro.cluster import ClusterTopology
+from repro.telemetry import SPAN_KINDS, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_span_and_event_recorded_in_order(self):
+        tracer = Tracer()
+        tracer.span("compute", 0.0, 2.0, soc=3, lg=1, steps=10)
+        tracer.event("fault", 2.0, name="fault:crash", soc=3)
+        assert len(tracer) == 2
+        first, second = tracer.records
+        assert first.kind == "compute" and first.ph == "X"
+        assert first.dur_s == 2.0 and first.lg == 1
+        assert first.args == {"steps": 10}
+        assert second.ph == "i" and second.dur_s == 0.0
+        assert second.name == "fault:crash"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown span kind"):
+            Tracer().span("teleport", 0.0, 1.0)
+        assert "compute" in SPAN_KINDS and "nic_wait" in SPAN_KINDS
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Tracer().span("compute", 0.0, -0.5)
+
+    def test_pcb_derived_from_topology(self):
+        topo = ClusterTopology(num_socs=16)
+        tracer = Tracer()
+        tracer.bind_topology(topo)
+        tracer.span("compute", 0.0, 1.0, soc=9)
+        assert tracer.records[0].pcb == topo.pcb_of(9)
+
+    def test_explicit_pcb_wins_over_topology(self):
+        tracer = Tracer(topology=ClusterTopology(num_socs=16))
+        tracer.span("nic_wait", 0.0, 1.0, soc=9, pcb=0)
+        assert tracer.records[0].pcb == 0
+
+    def test_to_dict_drops_missing_attribution(self):
+        tracer = Tracer()
+        tracer.span("recovery", 1.0, 3.0)
+        out = tracer.records[0].to_dict()
+        assert "soc" not in out and "pcb" not in out
+        assert "lg" not in out and "cg" not in out and "args" not in out
+        assert out["ts_s"] == 1.0 and out["dur_s"] == 3.0
+
+    def test_default_name_is_kind(self):
+        tracer = Tracer()
+        tracer.span("allreduce", 0.0, 1.0, cg=2)
+        assert tracer.records[0].name == "allreduce"
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.bind_topology(ClusterTopology(num_socs=8))
+        tracer.span("compute", 0.0, 1.0, soc=0)
+        tracer.event("fault", 0.0)
+        assert not hasattr(tracer, "records")

@@ -122,6 +122,71 @@ class TestFaultArgs:
             build_parser().parse_args(["run", "--fault-mode", "explode"])
 
 
+class TestTelemetryArgs:
+    def test_trace_writes_chrome_json(self, tmp_path):
+        trace = tmp_path / "run.json"
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "2", "--socs", "16",
+            "--faults", "crash:epoch=1,soc=3",
+            "--trace", str(trace)])
+        assert code == 0
+        assert "per-epoch breakdown" in output
+        assert f"-> {trace}" in output
+        import json
+        payload = json.loads(trace.read_text())
+        cats = {e.get("cat") for e in payload["traceEvents"]}
+        assert {"compute", "allreduce", "leader_sync", "recovery"} <= cats
+
+    def test_trace_jsonl_format(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, _ = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "1", "--socs", "16",
+            "--trace", str(trace), "--trace-format", "jsonl"])
+        assert code == 0
+        import json
+        lines = trace.read_text().splitlines()
+        assert lines and all(json.loads(line)["kind"] for line in lines)
+
+    def test_metrics_flag_writes_registry(self, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "1", "--socs", "16", "--metrics", str(metrics)])
+        assert code == 0
+        import json
+        names = {json.loads(line)["name"]
+                 for line in metrics.read_text().splitlines()}
+        assert "epoch.seconds" in names and "run.sim_time_s" in names
+
+    def test_network_summary_always_printed(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "1", "--socs", "16"])
+        assert code == 0
+        assert "network: retries=" in output
+
+    def test_degraded_pcbs_in_summary(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "2", "--socs", "16",
+            "--faults", "flap:epoch=1,pcb=0,mult=0.2,until=3"])
+        assert code == 0
+        assert "degraded PCBs: 0@0.20" in output
+
+    def test_compare_writes_per_method_files(self, tmp_path):
+        trace = tmp_path / "cmp.json"
+        code, output = run_cli([
+            "compare", "--workload", "lenet5_fmnist",
+            "--methods", "ring,socflow", "--epochs", "1", "--socs", "8",
+            "--trace", str(trace)])
+        assert code == 0
+        assert (tmp_path / "cmp.ring.json").exists()
+        assert (tmp_path / "cmp.socflow.json").exists()
+        assert not trace.exists()
+
+
 class TestCompareCommand:
     def test_compare_two_methods(self):
         code, output = run_cli([
