@@ -1,0 +1,229 @@
+"""Host wall-clock performance harness (``BENCH_perf.json``).
+
+Every other number this repo reports is *simulated* time from the
+calibrated :class:`~repro.cluster.clock.PhaseClock`; this harness is
+the opposite: it measures the **host** wall-clock cost of the real
+numpy data plane, so data-plane optimisations (fused flat buffers,
+workspace reuse, the scatter-free col2im) are visible and regressions
+are catchable in CI.
+
+Sections
+--------
+- ``conv``: forward and forward+backward of a representative conv
+  stack (the VGG11 trunk at quick scale).
+- ``aggregation``: ``average_states`` over 8 model replicas — the
+  fused whole-model path (shared :class:`~repro.nn.flat.FlatState`
+  layout, float32 sum-then-scale) against the pre-fusion per-key
+  float64 reference loop — the microbenchmark the CI regression gate
+  watches.
+- ``epoch``: one end-to-end SoCFlow epoch (real math + simulated
+  clock) at quick scale, sequential and with ``--workers 2``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/perf_harness.py \
+        --out BENCH_perf.json [--mode smoke|full]
+
+The committed ``baseline.json`` stores the fused-vs-per-key speedup
+measured at authoring time; ``test_perf_smoke.py`` fails when the
+measured speedup drops below 75% of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.comm.primitives import average_states
+from repro.nn.models.registry import build_model
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+#: replicas averaged in the aggregation benchmark (paper: 8 LGs)
+NUM_REPLICAS = 8
+
+
+def _time(fn, repeats: int, warmup: int = 1) -> dict:
+    """Median/min wall seconds of ``fn()`` over ``repeats`` runs."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return {
+        "median_s": samples[len(samples) // 2],
+        "min_s": samples[0],
+        "max_s": samples[-1],
+        "repeats": repeats,
+    }
+
+
+# ----------------------------------------------------------------------
+def bench_conv(repeats: int, batch: int = 32) -> dict:
+    """Forward and forward+backward of the quick-scale VGG11 trunk."""
+    model = build_model("vgg11", num_classes=10, in_channels=3,
+                        image_size=32, width=0.25, seed=0)
+    model.flatten_parameters()
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((batch, 3, 32, 32)).astype(np.float32)
+    y = rng.integers(0, 10, size=batch)
+
+    def forward():
+        model.train()
+        return model(Tensor(x))
+
+    def forward_backward():
+        model.train()
+        for p in model.parameters():
+            p.zero_grad()
+        loss = F.cross_entropy(model(Tensor(x)), y)
+        loss.backward()
+        return loss
+
+    return {
+        "batch": batch,
+        "forward": _time(forward, repeats),
+        "forward_backward": _time(forward_backward, repeats),
+    }
+
+
+# ----------------------------------------------------------------------
+def _replica_states(num: int):
+    """``num`` flat snapshots of one model, plus per-key dict copies."""
+    model = build_model("vgg11", num_classes=10, in_channels=3,
+                        image_size=32, width=0.25, seed=0)
+    model.flatten_parameters()
+    rng = np.random.default_rng(1)
+    flat_states = []
+    for _ in range(num):
+        state = model.state_dict()
+        state.flat += rng.standard_normal(
+            state.flat.shape).astype(np.float32) * 0.01
+        flat_states.append(state)
+    perkey_states = [OrderedDict((k, v.copy()) for k, v in s.items())
+                     for s in flat_states]
+    return flat_states, perkey_states
+
+
+def _perkey_reference_average(states):
+    """The pre-fusion ``average_states``: per-key float64 accumulation.
+
+    This is the data plane the repo shipped with (and what an unfused
+    reproduction naturally writes): walk the ``OrderedDict`` key by
+    key, accumulate each key in a fresh float64 buffer, cast back.
+    The benchmark keeps it alive as the baseline the fused float32
+    whole-model path is measured against.
+    """
+    keys = list(states[0].keys())
+    out = OrderedDict()
+    for key in keys:
+        acc = np.zeros_like(np.asarray(states[0][key], dtype=np.float64))
+        for state in states:
+            acc += (1.0 / len(states)) * state[key]
+        out[key] = acc.astype(states[0][key].dtype)
+    return out
+
+
+def bench_aggregation(repeats: int) -> dict:
+    """Fused vs per-key ``average_states`` over NUM_REPLICAS replicas.
+
+    Three timings: ``fused`` (production whole-model float32 path),
+    ``per_key_fallback`` (production dict fallback — bit-identical to
+    fused by construction), and ``per_key`` (the pre-fusion float64
+    reference loop).  The headline ``speedup`` — what the CI gate
+    watches — is reference / fused.
+    """
+    flat_states, perkey_states = _replica_states(NUM_REPLICAS)
+    fused = _time(lambda: average_states(flat_states), repeats)
+    fallback = _time(lambda: average_states(perkey_states), repeats)
+    perkey = _time(lambda: _perkey_reference_average(perkey_states), repeats)
+    # sanity: production fused and per-key paths must produce the same
+    # bits; the float64 reference must agree to float32 rounding.
+    out_fused = average_states(flat_states)
+    out_fallback = average_states(perkey_states)
+    out_reference = _perkey_reference_average(perkey_states)
+    for key in out_fallback:
+        assert np.array_equal(out_fused[key], out_fallback[key]), key
+        np.testing.assert_allclose(out_fused[key], out_reference[key],
+                                   rtol=1e-5, atol=1e-6, err_msg=key)
+    return {
+        "replicas": NUM_REPLICAS,
+        "model_floats": int(flat_states[0].flat.size),
+        "fused": fused,
+        "per_key_fallback": fallback,
+        "per_key": perkey,
+        "speedup": perkey["median_s"] / fused["median_s"],
+    }
+
+
+# ----------------------------------------------------------------------
+def bench_epoch(repeats: int, workers: int = 1, epochs: int = 1) -> dict:
+    """End-to-end SoCFlow wall time at quick scale (host seconds)."""
+    from repro.core import SoCFlow, SoCFlowOptions
+    from repro.harness import make_run_config
+
+    config = make_run_config("vgg11", "quick", num_socs=16, num_groups=4,
+                             max_epochs=epochs, workers=workers)
+
+    def run():
+        return SoCFlow(SoCFlowOptions()).train(config)
+
+    timing = _time(run, repeats, warmup=0)
+    timing.update(epochs=epochs, workers=workers, num_groups=4, num_socs=16)
+    return timing
+
+
+# ----------------------------------------------------------------------
+def run_harness(mode: str = "smoke") -> dict:
+    repeats = {"smoke": 3, "full": 10}[mode]
+    report = {
+        "mode": mode,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "conv": bench_conv(repeats),
+        "aggregation": bench_aggregation(max(repeats, 20)),
+        "epoch": {
+            "sequential": bench_epoch(1 if mode == "smoke" else repeats),
+            "workers2": bench_epoch(1 if mode == "smoke" else repeats,
+                                    workers=2),
+        },
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument("--mode", default="smoke", choices=("smoke", "full"))
+    args = parser.parse_args(argv)
+    report = run_harness(args.mode)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    agg = report["aggregation"]
+    print(f"conv fwd       {report['conv']['forward']['median_s']*1e3:8.2f} ms")
+    print(f"conv fwd+bwd   "
+          f"{report['conv']['forward_backward']['median_s']*1e3:8.2f} ms")
+    print(f"agg fused      {agg['fused']['median_s']*1e6:8.1f} us")
+    print(f"agg per-key    {agg['per_key']['median_s']*1e6:8.1f} us")
+    print(f"agg speedup    {agg['speedup']:8.2f}x")
+    print(f"epoch seq      "
+          f"{report['epoch']['sequential']['median_s']:8.2f} s")
+    print(f"epoch w=2      {report['epoch']['workers2']['median_s']:8.2f} s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="vgg11",
                         choices=sorted(WORKLOADS))
@@ -85,6 +92,10 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--groups", type=int, default=None)
     parser.add_argument("--epochs", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="host processes training logical groups in "
+                             "parallel (SoCFlow real math); results are "
+                             "bit-identical for any value (default: 1)")
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help="fault-injection spec, e.g. "
                              "'crash:epoch=1,soc=3;flap:epoch=2,pcb=0,"
@@ -125,7 +136,8 @@ def _train(args, method: str, fault_schedule=None, telemetry=None):
                              fault_schedule=fault_schedule,
                              fault_mode=getattr(args, "fault_mode",
                                                 "fail-stop"),
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             workers=getattr(args, "workers", 1))
     if method == "socflow":
         return SoCFlow(SoCFlowOptions()).train(config)
     return build_strategy(method).train(config)

@@ -40,7 +40,8 @@ class GroupMixedTrainer:
         self.fp32 = make_model(config, seed_offset=seed_offset)
         self.fp32_opt = SGD(self.fp32.parameters(), lr=config.lr,
                             momentum=config.momentum,
-                            weight_decay=config.weight_decay)
+                            weight_decay=config.weight_decay,
+                            flat=self.fp32.flatten_parameters())
         self.int8: Int8Trainer | None = None
         if mixed:
             int8_model = make_model(config, seed_offset=seed_offset)
@@ -97,6 +98,47 @@ class GroupMixedTrainer:
 
     def load_state(self, state: "OrderedDict[str, np.ndarray]") -> None:
         self._load_both(state)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _module_rng_states(model) -> list:
+        """RNG state of every stateful-layer generator (e.g. Dropout)."""
+        return [m.rng.bit_generator.state for m in model.modules()
+                if getattr(m, "rng", None) is not None]
+
+    @staticmethod
+    def _load_module_rng_states(model, states: list) -> None:
+        holders = [m for m in model.modules()
+                   if getattr(m, "rng", None) is not None]
+        for module, rng_state in zip(holders, states):
+            module.rng.bit_generator.state = rng_state
+
+    def runtime_state(self) -> dict:
+        """Every mutable input of ``train_batch``, picklable, so a worker
+        process can resume this group bit-identically mid-run.
+
+        The controller is deliberately excluded: within an epoch it is
+        read-only (alpha/beta update only at epoch boundaries), so the
+        executor ships its two scalars separately.
+        """
+        state = {
+            "fp32": self.fp32.state_dict(),
+            "fp32_opt": self.fp32_opt.state_dict(),
+            "fp32_rngs": self._module_rng_states(self.fp32),
+        }
+        if self.int8 is not None:
+            state["int8"] = self.int8.runtime_state()
+            state["int8_rngs"] = self._module_rng_states(self.int8.model)
+        return state
+
+    def load_runtime_state(self, state: dict) -> None:
+        self.fp32.load_state_dict(state["fp32"])
+        self.fp32_opt.load_state_dict(state["fp32_opt"])
+        self._load_module_rng_states(self.fp32, state["fp32_rngs"])
+        if self.int8 is not None and "int8" in state:
+            self.int8.load_runtime_state(state["int8"])
+            self._load_module_rng_states(self.int8.model,
+                                         state["int8_rngs"])
 
     def set_lr(self, lr: float) -> None:
         self.fp32_opt.lr = lr

@@ -121,7 +121,7 @@ class SoCFlow(Strategy):
             # Probe runs stay untraced: their scratch clocks must not
             # rebind the telemetry context of the real run.
             probe_config = replace(config, max_epochs=1, num_groups=n,
-                                   telemetry=None)
+                                   telemetry=None, workers=1)
             result = SoCFlow(probe_options).train(probe_config)
             profile[n] = result.extra["first_epoch_group_accuracy"]
         selector = GroupSizeSelector(self.options.group_size_drop_threshold)
@@ -176,66 +176,71 @@ class SoCFlow(Strategy):
         last_good: tuple[dict, int] = (groups[0].state_dict(), -1)
         current_dead: set[int] = set()
         recoveries: list[dict] = []
-        for epoch in range(start_epoch, config.max_epochs):
-            epoch_t0 = cost.clock.now
-            epoch_phases0 = cost.clock.breakdown()
-            scheduler.apply_underclocks(epoch)
-            dead = scheduler.apply_faults(epoch, cost.fabric)
-            if dead != current_dead:
-                survivors = [s for s in range(config.topology.num_socs)
-                             if s not in dead]
-                if not survivors:
-                    state["all_dead_epoch"] = epoch
+        executor = self._make_executor(config, cost, mixed, telemetry)
+        try:
+            for epoch in range(start_epoch, config.max_epochs):
+                epoch_t0 = cost.clock.now
+                epoch_phases0 = cost.clock.breakdown()
+                scheduler.apply_underclocks(epoch)
+                dead = scheduler.apply_faults(epoch, cost.fabric)
+                if dead != current_dead:
+                    survivors = [s for s in range(config.topology.num_socs)
+                                 if s not in dead]
+                    if not survivors:
+                        state["all_dead_epoch"] = epoch
+                        break
+                    mapping, plan, groups = self._recover(
+                        config, controller, groups, dead, survivors, last_good,
+                        cost, scheduler, recoveries, epoch)
+                    preempted = min(preempted, len(groups) - 1)
+                    current_dead = dead
+                for event in scheduler.preemptions_at(epoch):
+                    preempted = self._handle_preemption(
+                        event, groups, preempted, cost, model_bytes)
+                active = groups[:len(groups) - preempted] if preempted else groups
+                if not active:
                     break
-                mapping, plan, groups = self._recover(
-                    config, controller, groups, dead, survivors, last_good,
-                    cost, scheduler, recoveries, epoch)
-                preempted = min(preempted, len(groups) - 1)
-                current_dead = dead
-            for event in scheduler.preemptions_at(epoch):
-                preempted = self._handle_preemption(
-                    event, groups, preempted, cost, model_bytes)
-            active = groups[:len(groups) - preempted] if preempted else groups
-            if not active:
-                break
-            active_mapping = MappingResult(
-                [mapping.groups[i] for i in range(len(active))],
-                config.topology)
-            active_plan = CommunicationPlan.from_mapping(active_mapping)
+                active_mapping = MappingResult(
+                    [mapping.groups[i] for i in range(len(active))],
+                    config.topology)
+                active_plan = CommunicationPlan.from_mapping(active_mapping)
 
-            self._run_real_epoch(config, active, epoch, rng)
-            self._charge_epoch(config, cost, active_mapping, active_plan,
-                               controller, scheduler, mixed, epoch)
+                self._run_real_epoch(config, active, epoch, rng, executor)
+                self._charge_epoch(config, cost, active_mapping, active_plan,
+                                   controller, scheduler, mixed, epoch)
 
-            if epoch == 0:
-                # The group-size heuristic profiles *pre-merge* accuracy
-                # during the first epoch (§3.1) — one group's own model.
-                state["first_epoch_group_accuracy"] = evaluate_accuracy(
-                    active[0].fp32, config.task.x_test, config.task.y_test)
+                if epoch == 0:
+                    # The group-size heuristic profiles *pre-merge* accuracy
+                    # during the first epoch (§3.1) — one group's own model.
+                    state["first_epoch_group_accuracy"] = evaluate_accuracy(
+                        active[0].fp32, config.task.x_test, config.task.y_test)
 
-            merged = average_states([g.state_dict() for g in active],
-                                    metrics=telemetry.metrics)
-            for group in active:
-                group.load_state(merged)
-            last_good = (merged, epoch)
-            if mixed and options.fixed_alpha is None:
-                controller.update_alpha(
-                    *self._profile_logits(active[0], val_x))
+                merged = average_states([g.state_dict() for g in active],
+                                        metrics=telemetry.metrics)
+                for group in active:
+                    group.load_state(merged)
+                last_good = (merged, epoch)
+                if mixed and options.fixed_alpha is None:
+                    controller.update_alpha(
+                        *self._profile_logits(active[0], val_x))
 
-            accuracy = evaluate_accuracy(active[0].fp32, config.task.x_test,
-                                         config.task.y_test)
-            self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
-                                             history, state)
-            if options.checkpoint_path is not None:
-                self._write_checkpoint(options.checkpoint_path, active[0],
-                                       epoch, history, controller, cost,
-                                       config)
-            if telemetry.enabled:
-                self._record_epoch_telemetry(
-                    telemetry, cost, epoch, epoch_t0, epoch_phases0,
-                    accuracy, controller if mixed else None,
-                    active_mapping)
+                accuracy = evaluate_accuracy(active[0].fp32, config.task.x_test,
+                                             config.task.y_test)
+                self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
+                                                 history, state)
+                if options.checkpoint_path is not None:
+                    self._write_checkpoint(options.checkpoint_path, active[0],
+                                           epoch, history, controller, cost,
+                                           config)
+                if telemetry.enabled:
+                    self._record_epoch_telemetry(
+                        telemetry, cost, epoch, epoch_t0, epoch_phases0,
+                        accuracy, controller if mixed else None,
+                        active_mapping)
 
+        finally:
+            if executor is not None:
+                executor.close()
         extra = {
             "first_epoch_group_accuracy":
                 state.get("first_epoch_group_accuracy", 0.0),
@@ -262,6 +267,31 @@ class SoCFlow(Strategy):
     # ------------------------------------------------------------------
     # Pieces
     # ------------------------------------------------------------------
+    def _make_executor(self, config: RunConfig, cost: CostModel,
+                       mixed: bool, telemetry):
+        """A worker pool for ``config.workers > 1``, else None.
+
+        The executor replicates each logical group in a worker process
+        (same config, same seed offsets), so it needs exactly the
+        inputs ``_build_groups`` consumed.
+        """
+        if getattr(config, "workers", 1) <= 1:
+            return None
+        from ..parallel import LgExecutor
+        # Worker replicas mirror _build_groups: INT8-only mode also
+        # constructs the dual-model trainer, then swaps in the pure
+        # INT8 step.
+        executor = LgExecutor(
+            config, quant=self.options.quant,
+            mixed=mixed or self.options.precision == "int8",
+            int8_only=self.options.precision == "int8",
+            t_cpu=cost.t_cpu_sample, t_npu=cost.t_npu_sample,
+            telemetry=telemetry, workers=config.workers)
+        if not executor.parallel:                       # pragma: no cover
+            executor.close()
+            return None
+        return executor
+
     def _build_groups(self, config: RunConfig, mapping: MappingResult,
                       controller: MixedPrecisionController,
                       mixed: bool) -> list[GroupMixedTrainer]:
@@ -294,7 +324,7 @@ class SoCFlow(Strategy):
 
     def _run_real_epoch(self, config: RunConfig,
                         groups: list[GroupMixedTrainer], epoch: int,
-                        rng: np.random.Generator) -> None:
+                        rng: np.random.Generator, executor=None) -> None:
         """Cross-group shuffle + lock-step group batches (real math)."""
         n = len(groups)
         order = rng.permutation(len(config.task.x_train))
@@ -303,6 +333,12 @@ class SoCFlow(Strategy):
         # (Table 1 — the paper's "global batch size 64" is per group).
         group_batch = min(config.batch_size, min(len(s) for s in shards))
         steps = max(1, min(len(s) for s in shards) // group_batch)
+        if executor is not None and executor.parallel and n > 1:
+            # Group-major parallel schedule; bit-identical to the
+            # step-major loop below because groups are independent
+            # between sync points (see repro.parallel.pool).
+            executor.run_epoch(groups, shards, steps, group_batch)
+            return
         for step in range(steps):
             for group, shard in zip(groups, shards):
                 idx = shard[step * group_batch:(step + 1) * group_batch]

@@ -64,6 +64,10 @@ class RunConfig:
     sim_global_batch: int = 64
     #: logical group count for grouped strategies (SoCFlow, 2D, T-FedAvg)
     num_groups: int = 8
+    #: host worker processes for the real-math training of independent
+    #: logical groups (SoCFlow); 1 = sequential in-process execution.
+    #: Results are bit-identical for any value (see repro.parallel).
+    workers: int = 1
     #: pre-trained weights for transfer learning (ResNet50-Finetune):
     #: loaded into every freshly built model replica
     init_state: dict | None = None
@@ -84,6 +88,8 @@ class RunConfig:
     fault_mode: str = "fail-stop"
 
     def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
         if self.fault_mode not in ("fail-stop", "continue"):
             raise ValueError("fault_mode must be 'fail-stop' or 'continue'")
         if self.fault_schedule is not None:

@@ -61,6 +61,11 @@ class FedAvg(Strategy):
         global_model = make_model(config)
         shards = self._partition(config, num_clients)
         client_model = make_model(config)  # reused buffer for local runs
+        # Fused data plane: flattening both replicas makes every local
+        # SGD step, the round average and the state loads whole-model
+        # array ops (bit-identical to the per-key paths).
+        global_model.flatten_parameters()
+        client_flat = client_model.flatten_parameters()
 
         # Simulated per-round cost: every client trains its full-scale
         # shard locally (all clients in parallel), then one aggregation.
@@ -85,7 +90,8 @@ class FedAvg(Strategy):
                 client_model.load_state_dict(global_state)
                 optimizer = SGD(client_model.parameters(), lr=config.lr,
                                 momentum=config.momentum,
-                                weight_decay=config.weight_decay)
+                                weight_decay=config.weight_decay,
+                                flat=client_flat)
                 loader = DataLoader(
                     shard, self._local_batch(config, len(shard)),
                     shuffle=True, seed=config.seed * 1000 + epoch * 64 + index)

@@ -50,7 +50,8 @@ class SsgdStrategy(Strategy):
         model = make_model(config)
         optimizer = SGD(model.parameters(), lr=config.lr,
                         momentum=config.momentum,
-                        weight_decay=config.weight_decay)
+                        weight_decay=config.weight_decay,
+                        flat=model.flatten_parameters())
         loader = DataLoader(
             ArrayDataset(config.task.x_train, config.task.y_train),
             config.batch_size, shuffle=True, seed=config.seed)

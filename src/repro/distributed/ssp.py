@@ -44,7 +44,8 @@ class StaleSynchronous(Strategy):
             chain.load_state_dict(shared)
         optimizers = [SGD(chain.parameters(), lr=config.lr,
                           momentum=config.momentum,
-                          weight_decay=config.weight_decay)
+                          weight_decay=config.weight_decay,
+                          flat=chain.flatten_parameters())
                       for chain in chains]
         shards = iid_partition(config.task.x_train, config.task.y_train,
                                _NUM_CHAINS, seed=config.seed)

@@ -95,7 +95,7 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
                     target_accuracy: float | None = None,
                     fault_schedule=None,
                     fault_mode: str = "fail-stop",
-                    telemetry=None) -> RunConfig:
+                    telemetry=None, workers: int = 1) -> RunConfig:
     """Build the RunConfig for one workload at one scale."""
     workload = WORKLOADS[workload_key]
     preset = SCALE_PRESETS[preset_name]
@@ -115,6 +115,7 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
         sim_samples_per_epoch=spec.train_size,
         sim_global_batch=workload.sim_global_batch,
         num_groups=num_groups,
+        workers=workers,
         fault_schedule=fault_schedule,
         fault_mode=fault_mode,
         telemetry=telemetry,

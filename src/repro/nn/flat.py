@@ -1,0 +1,284 @@
+"""Fused flat-buffer storage for module parameters and gradients.
+
+Real training stacks (Horovod, DDP, DynaComm) fuse many small tensors
+into one contiguous exchange buffer so optimiser updates and allreduce
+reductions become a single vectorised operation instead of a Python
+loop over an ``OrderedDict``.  This module brings the same data plane
+to the numpy engine:
+
+:class:`FlatLayout`
+    The (key, shape, offset) table describing how a module's parameters
+    and buffers pack into one 1-D float32 array.  Layouts are interned,
+    so two models of the same architecture share one layout object and
+    layout equality is an ``is`` check.
+
+:class:`FlatState`
+    An ``OrderedDict[str, np.ndarray]`` state dict whose values are
+    zero-copy views into a single contiguous ``.flat`` array.  It is a
+    drop-in replacement for the dicts ``Module.state_dict`` returns;
+    aggregation primitives detect it and reduce the fused array in one
+    operation.
+
+:class:`FlatParamBuffer`
+    Owns two contiguous arrays — ``data`` (parameters + buffers) and
+    ``grads`` (parameter gradients) — and rebinds a module's tensors to
+    views of them.  All fused fast paths are bit-identical to the
+    per-key loops they replace: they run the same elementwise
+    operations in the same dtype over the concatenation of the same
+    segments.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["FlatLayout", "FlatState", "FlatParamBuffer"]
+
+#: interned layouts keyed by their spec tuple
+_LAYOUT_CACHE: dict[tuple, "FlatLayout"] = {}
+
+
+def _intern_layout(spec: tuple) -> "FlatLayout":
+    layout = _LAYOUT_CACHE.get(spec)
+    if layout is None:
+        layout = FlatLayout(spec)
+        _LAYOUT_CACHE[spec] = layout
+    return layout
+
+
+class FlatLayout:
+    """Packing table: key order, shapes and offsets into the flat array.
+
+    Keys are ordered parameters-first then buffers, which is exactly the
+    order ``Module.state_dict`` emits, so a flat snapshot and a per-key
+    snapshot enumerate identically.
+    """
+
+    __slots__ = ("spec", "keys", "shapes", "sizes", "offsets", "total",
+                 "num_params", "param_total")
+
+    def __init__(self, spec: tuple):
+        # spec = ((key, shape), ...), num_params
+        entries, num_params = spec
+        self.spec = spec
+        self.keys = tuple(key for key, _ in entries)
+        self.shapes = tuple(shape for _, shape in entries)
+        self.sizes = tuple(int(np.prod(shape, dtype=np.int64)) if shape
+                           else 1 for shape in self.shapes)
+        offsets = np.concatenate([[0], np.cumsum(self.sizes)])
+        self.offsets = tuple(int(o) for o in offsets)
+        self.total = self.offsets[-1]
+        self.num_params = num_params
+        self.param_total = self.offsets[num_params]
+
+    @staticmethod
+    def from_entries(entries: Sequence[tuple[str, tuple[int, ...]]],
+                     num_params: int) -> "FlatLayout":
+        spec = (tuple((key, tuple(shape)) for key, shape in entries),
+                int(num_params))
+        return _intern_layout(spec)
+
+    def views(self, flat: np.ndarray) -> list[np.ndarray]:
+        """Zero-copy per-key views of a contiguous ``flat`` array."""
+        return [flat[a:b].reshape(shape) for a, b, shape in
+                zip(self.offsets[:-1], self.offsets[1:], self.shapes)]
+
+    def param_slice(self) -> slice:
+        return slice(0, self.param_total)
+
+    def param_views(self, arr: np.ndarray) -> list[np.ndarray]:
+        """Per-parameter views of a ``(param_total,)`` array (e.g. a
+        fused gradient or velocity buffer)."""
+        n = self.num_params
+        return [arr[a:b].reshape(shape) for a, b, shape in
+                zip(self.offsets[:n], self.offsets[1:n + 1],
+                    self.shapes[:n])]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __reduce__(self):
+        return (_intern_layout, (self.spec,))
+
+
+def _rebuild_flat_state(layout: FlatLayout, flat: np.ndarray) -> "FlatState":
+    return FlatState(layout, flat)
+
+
+class FlatState(OrderedDict):
+    """State dict backed by one contiguous array.
+
+    Behaves exactly like the plain ``OrderedDict[str, np.ndarray]``
+    state dicts used everywhere (iteration order, keys, values are
+    real ndarrays), but also exposes ``.flat`` and ``.layout`` so the
+    fused aggregation/merge paths can operate on the whole model at
+    once.
+    """
+
+    def __init__(self, layout: FlatLayout, flat: np.ndarray):
+        if flat.size != layout.total:
+            raise ValueError(
+                f"flat array has {flat.size} elements, layout needs "
+                f"{layout.total}")
+        flat = np.ascontiguousarray(flat, dtype=np.float32)
+        if flat.ndim != 1:
+            flat = flat.reshape(-1)
+        super().__init__(zip(layout.keys, layout.views(flat)))
+        self.layout = layout
+        self.flat = flat
+        # numpy collapses view chains, so a view of a view of X reports
+        # ``.base is X`` — intactness must compare against the storage
+        # owner, not against ``flat`` (itself possibly a view).
+        owner = flat
+        while isinstance(owner.base, np.ndarray):
+            owner = owner.base
+        self._owner = owner
+
+    def is_intact(self) -> bool:
+        """True while every value is still a view of ``.flat``.
+
+        Key reassignment (``state[k] = other_array``) desynchronises the
+        dict from the fused array; fused consumers check this and fall
+        back to the per-key path when it fails.
+        """
+        if len(self) != len(self.layout):
+            return False
+        for value in self.values():
+            if getattr(value, "base", None) is not self._owner:
+                return False
+        return True
+
+    def copy(self) -> "FlatState":
+        return FlatState(self.layout, self.flat.copy())
+
+    def __reduce__(self):
+        return (_rebuild_flat_state, (self.layout, self.flat))
+
+
+def common_flat_layout(states: Iterable[dict]) -> FlatLayout | None:
+    """The shared layout if every state is an intact FlatState, else None."""
+    layout = None
+    for state in states:
+        if not isinstance(state, FlatState):
+            return None
+        if layout is None:
+            layout = state.layout
+        elif state.layout is not layout:
+            return None
+        if not state.is_intact():
+            return None
+    return layout
+
+
+class FlatParamBuffer:
+    """Contiguous parameter/gradient storage bound to a live module.
+
+    After ``FlatParamBuffer(module)``:
+
+    - every parameter's ``.data`` is a view into :attr:`data`,
+    - every registered buffer is a view into :attr:`data` (after the
+      parameter region), and
+    - every parameter's gradient, once produced by ``backward``, lands
+      in a view of :attr:`grads` (via ``Tensor._grad_buf``).
+
+    ``state_dict`` then costs one ``memcpy`` and SGD/aggregation can
+    update the whole model with a handful of vectorised array ops.
+    """
+
+    def __init__(self, module):
+        named_params = list(module.named_parameters())
+        named_buffers = list(module.named_buffers())
+        entries = [(name, tuple(p.data.shape)) for name, p in named_params]
+        entries += [(name, tuple(np.asarray(b).shape))
+                    for name, b in named_buffers]
+        for _, param in named_params:
+            if param.data.dtype != np.float32:
+                raise TypeError("flat buffers require float32 parameters")
+        for _, buf in named_buffers:
+            if np.asarray(buf).dtype != np.float32:
+                raise TypeError("flat buffers require float32 buffers")
+        self.layout = FlatLayout.from_entries(entries, len(named_params))
+
+        self.data = np.empty(self.layout.total, dtype=np.float32)
+        self.grads = np.zeros(self.layout.param_total, dtype=np.float32)
+
+        views = self.layout.views(self.data)
+        self.param_tensors: list[Tensor] = [p for _, p in named_params]
+        self.param_views: list[np.ndarray] = views[:len(named_params)]
+        self.buffer_views: list[np.ndarray] = views[len(named_params):]
+        grad_offsets = self.layout.offsets[:len(named_params) + 1]
+        self.grad_views: list[np.ndarray] = [
+            self.grads[a:b].reshape(shape) for a, b, shape in
+            zip(grad_offsets[:-1], grad_offsets[1:],
+                self.layout.shapes[:len(named_params)])]
+
+        # Move the live values into the fused storage and rebind.
+        for param, view, gview in zip(self.param_tensors, self.param_views,
+                                      self.grad_views):
+            view[...] = param.data
+            param.data = view
+            param._grad_buf = gview
+        self._rebind_buffers(module, named_buffers)
+
+    @property
+    def params(self) -> np.ndarray:
+        """The parameter region of :attr:`data` (1-D float32 view)."""
+        return self.data[:self.layout.param_total]
+
+    def _rebind_buffers(self, module, named_buffers) -> None:
+        """Point every registered buffer (and any attribute aliasing it)
+        at its view of the fused array."""
+        replacements = {}
+        for (_, buf), view in zip(named_buffers, self.buffer_views):
+            view[...] = buf
+            replacements[id(buf)] = view
+        for sub in module.modules():
+            for name, buf in list(sub._buffers.items()):
+                if id(buf) in replacements:
+                    sub._buffers[name] = replacements[id(buf)]
+            for name, value in list(sub.__dict__.items()):
+                if isinstance(value, np.ndarray) and id(value) in replacements:
+                    object.__setattr__(sub, name, replacements[id(value)])
+
+    # -- integrity ------------------------------------------------------
+    def is_intact(self) -> bool:
+        """True while every parameter's ``.data`` is still its view.
+
+        Code that rebinds ``param.data`` (rather than writing through
+        it) silently detaches the tensor from the fused storage; callers
+        check this before taking a fused fast path.
+        """
+        for param, view in zip(self.param_tensors, self.param_views):
+            if param.data is not view:
+                return False
+        return True
+
+    def grads_ready(self) -> bool:
+        """True when every parameter gradient *is* its flat view, i.e.
+        :attr:`grads` currently holds the complete fused gradient."""
+        for param, gview in zip(self.param_tensors, self.grad_views):
+            if param.grad is not gview:
+                return False
+        return True
+
+    # -- state ----------------------------------------------------------
+    def state_dict(self) -> FlatState:
+        """Snapshot the full (param + buffer) state as a FlatState.
+
+        One contiguous copy; per-key values are views into the copy so
+        the result is independent of future training steps, exactly like
+        the per-key ``Module.state_dict``.
+        """
+        return FlatState(self.layout, self.data.copy())
+
+    def load_flat(self, state: FlatState) -> None:
+        self.data[...] = state.flat
+
+    def __reduce__(self):
+        raise TypeError("FlatParamBuffer is bound to live tensors and "
+                        "cannot be pickled; ship FlatState snapshots")

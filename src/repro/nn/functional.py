@@ -14,15 +14,54 @@ from .tensor import Tensor
 __all__ = [
     "linear", "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
     "batch_norm", "log_softmax", "softmax", "cross_entropy", "dropout",
-    "im2col", "col2im",
+    "im2col", "col2im", "clear_workspaces",
 ]
 
+# ---------------------------------------------------------------------------
+# Workspace buffers
+#
+# The conv/pool hot path allocates the same large scratch arrays every
+# step (im2col columns, col2im outputs, gradient columns).  A small
+# keyed cache reuses them across steps.  Only arrays whose lifetime ends
+# within the op that requested them may come from here — anything a
+# backward closure captures (e.g. the forward im2col columns of conv2d)
+# must stay freshly allocated, because a later layer with the same shape
+# would overwrite it.
+# ---------------------------------------------------------------------------
 
-def im2col(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+_WORKSPACES: dict[tuple, np.ndarray] = {}
+_WORKSPACE_LIMIT = 64
+
+
+def _workspace(tag: str, shape: tuple[int, ...], dtype=np.float32,
+               zero: bool = False) -> np.ndarray:
+    key = (tag, shape, np.dtype(dtype))
+    buf = _WORKSPACES.get(key)
+    if buf is None:
+        if len(_WORKSPACES) >= _WORKSPACE_LIMIT:
+            _WORKSPACES.clear()
+        buf = np.empty(shape, dtype=dtype)
+        _WORKSPACES[key] = buf
+        if zero:
+            buf[...] = 0
+    elif zero:
+        buf[...] = 0
+    return buf
+
+
+def clear_workspaces() -> None:
+    """Drop all cached scratch buffers (frees memory; safe any time)."""
+    _WORKSPACES.clear()
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int,
+           out: np.ndarray | None = None) -> np.ndarray:
     """Unfold NCHW ``x`` into ``(N, C*k*k, L)`` patch columns.
 
-    ``x`` must already be padded.  Uses stride tricks: no data copy until
-    the final reshape.
+    ``x`` must already be padded.  Uses stride tricks: no data copy
+    until the final reshape.  ``out``, when given, must be a contiguous
+    ``(N, C*k*k, L)`` array that receives the columns (reusing a
+    workspace instead of allocating).
     """
     n, c, h, w = x.shape
     out_h = (h - kernel) // stride + 1
@@ -34,23 +73,53 @@ def im2col(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
         strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
         writeable=False,
     )
-    return windows.reshape(n, c * kernel * kernel, out_h * out_w)
+    if out is None:
+        return windows.reshape(n, c * kernel * kernel, out_h * out_w)
+    np.copyto(out.reshape(n, c, kernel, kernel, out_h, out_w), windows)
+    return out
 
 
 def col2im(cols: np.ndarray, x_shape: tuple[int, ...], kernel: int,
-           stride: int) -> np.ndarray:
-    """Fold ``(N, C*k*k, L)`` columns back into NCHW, summing overlaps."""
+           stride: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Fold ``(N, C*k*k, L)`` columns back into NCHW, summing overlaps.
+
+    Non-overlapping strides take copy-only fast paths (no zero-init, no
+    accumulation); the generic overlapping case accumulates per kernel
+    offset.  ``out``, when given, is used as the (fully overwritten)
+    result buffer.
+    """
     n, c, h, w = x_shape
     out_h = (h - kernel) // stride + 1
     out_w = (w - kernel) // stride + 1
     cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
-    x = np.zeros(x_shape, dtype=cols.dtype)
+    if (stride == kernel and h == out_h * kernel and w == out_w * kernel):
+        # Exact tiling (the pooling case): pure scatter-free transpose.
+        x = np.empty(x_shape, dtype=cols.dtype) if out is None else out
+        np.copyto(x.reshape(n, c, out_h, kernel, out_w, kernel),
+                  cols.transpose(0, 1, 4, 2, 5, 3))
+        return x
+    if stride >= kernel:
+        # Disjoint windows with possible gaps: assign, don't accumulate.
+        x = np.zeros(x_shape, dtype=cols.dtype) if out is None \
+            else _zeroed(out)
+        for ki in range(kernel):
+            h_end = ki + stride * out_h
+            for kj in range(kernel):
+                w_end = kj + stride * out_w
+                x[:, :, ki:h_end:stride, kj:w_end:stride] = cols[:, :, ki, kj]
+        return x
+    x = np.zeros(x_shape, dtype=cols.dtype) if out is None else _zeroed(out)
     for ki in range(kernel):
         h_end = ki + stride * out_h
         for kj in range(kernel):
             w_end = kj + stride * out_w
             x[:, :, ki:h_end:stride, kj:w_end:stride] += cols[:, :, ki, kj]
     return x
+
+
+def _zeroed(arr: np.ndarray) -> np.ndarray:
+    arr[...] = 0
+    return arr
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
@@ -76,6 +145,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     out_w = (w - kernel) // stride + 1
 
     if groups == 1:
+        # The forward columns are captured by the backward closure, so
+        # they must NOT come from the reusable workspace (a same-shape
+        # sibling layer would overwrite them before backward runs).
         cols = im2col(x.data, kernel, stride)              # (N, C*k*k, L)
         w_mat = weight.data.reshape(out_c, -1)              # (O, C*k*k)
         out_data = np.matmul(w_mat[None, :, :], cols)
@@ -87,8 +159,13 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                 grad_w = np.einsum("nol,nkl->ok", grad_mat, cols, optimize=True)
                 weight._accumulate(grad_w.reshape(weight.shape))
             if x.requires_grad:
-                grad_cols = np.matmul(w_mat.T[None, :, :], grad_mat)
-                x._accumulate(col2im(grad_cols, x.shape, kernel, stride))
+                grad_cols = np.matmul(
+                    w_mat.T[None, :, :], grad_mat,
+                    out=_workspace("conv_gcols", cols.shape, grad_mat.dtype))
+                grad_x = col2im(grad_cols, x.shape, kernel, stride,
+                                out=_workspace("conv_gx", x.shape,
+                                               grad_cols.dtype))
+                x._accumulate(grad_x)
 
         out = Tensor._make(out_data, (x, weight), backward)
     else:
@@ -124,18 +201,25 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     n, c, h, w = x.shape
     out_h = (h - kernel) // stride + 1
     out_w = (w - kernel) // stride + 1
-    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride)
-    cols = cols.reshape(n * c, kernel * kernel, out_h * out_w)
+    # Neither the columns nor the gradient columns outlive this op, so
+    # both come from reusable workspaces (no per-step allocation).
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride,
+                  out=_workspace("pool_cols",
+                                 (n * c, kernel * kernel, out_h * out_w),
+                                 x.data.dtype))
     arg = cols.argmax(axis=1)                               # (N*C, L)
     out_data = np.take_along_axis(cols, arg[:, None, :], axis=1)
     out_data = out_data.reshape(n, c, out_h, out_w)
 
     def backward(grad: np.ndarray) -> None:
-        grad_cols = np.zeros((n * c, kernel * kernel, out_h * out_w),
-                             dtype=np.float32)
+        grad_cols = _workspace("pool_gcols",
+                               (n * c, kernel * kernel, out_h * out_w),
+                               np.float32, zero=True)
         np.put_along_axis(grad_cols, arg[:, None, :],
                           grad.reshape(n * c, 1, -1), axis=1)
-        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride,
+                        out=_workspace("pool_gx", (n * c, 1, h, w),
+                                       np.float32))
         x._accumulate(grad_x.reshape(x.shape))
 
     return Tensor._make(out_data, (x,), backward)
@@ -146,15 +230,21 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     n, c, h, w = x.shape
     out_h = (h - kernel) // stride + 1
     out_w = (w - kernel) // stride + 1
-    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride)
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride,
+                  out=_workspace("pool_cols",
+                                 (n * c, kernel * kernel, out_h * out_w),
+                                 x.data.dtype))
     out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
     scale = 1.0 / (kernel * kernel)
 
     def backward(grad: np.ndarray) -> None:
-        grad_cols = np.broadcast_to(
-            grad.reshape(n * c, 1, -1) * scale,
-            (n * c, kernel * kernel, out_h * out_w)).astype(np.float32)
-        grad_x = col2im(grad_cols.copy(), (n * c, 1, h, w), kernel, stride)
+        grad_cols = _workspace("pool_gcols",
+                               (n * c, kernel * kernel, out_h * out_w),
+                               np.float32)
+        np.multiply(grad.reshape(n * c, 1, -1), scale, out=grad_cols)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride,
+                        out=_workspace("pool_gx", (n * c, 1, h, w),
+                                       np.float32))
         x._accumulate(grad_x.reshape(x.shape))
 
     return Tensor._make(out_data, (x,), backward)
@@ -229,12 +319,36 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean cross-entropy between ``logits`` (N, C) and int targets (N,)."""
+    """Mean cross-entropy between ``logits`` (N, C) and int targets (N,).
+
+    Fused into a single graph node: the composed
+    ``log_softmax -> gather -> mean -> neg`` chain funnels its backward
+    through an ``np.add.at`` scatter, which dominates the loss hot path;
+    since the gather indices are unique, the same gradient is a direct
+    assignment.  Forward and backward reproduce the composed chain's
+    arithmetic operation-for-operation, so values are unchanged.
+    """
     targets = np.asarray(targets)
-    log_probs = log_softmax(logits, axis=-1)
     n = logits.shape[0]
-    picked = log_probs[np.arange(n), targets]
-    return -picked.mean()
+    rows = np.arange(n)
+
+    shifted = logits.data - logits.data.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+    soft = np.exp(log_probs)
+    picked = log_probs[rows, targets]
+    inv_n = np.float32(1.0 / float(n))
+    loss = -(picked.sum() * inv_n)
+
+    def backward(grad: np.ndarray) -> None:
+        upstream = (-grad) * inv_n           # d loss / d picked[i]
+        g = np.zeros_like(soft)
+        g[rows, targets] = upstream
+        g -= soft * upstream
+        logits._accumulate(g)
+
+    return Tensor._make(np.asarray(loss, dtype=np.float32), (logits,),
+                        backward)
 
 
 def dropout(x: Tensor, p: float, training: bool,

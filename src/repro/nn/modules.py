@@ -31,6 +31,7 @@ class Module:
         self._parameters: OrderedDict[str, Tensor] = OrderedDict()
         self._buffers: OrderedDict[str, np.ndarray] = OrderedDict()
         self._modules: OrderedDict[str, Module] = OrderedDict()
+        self._flat = None
         self.training = True
 
     # -- registration --------------------------------------------------
@@ -88,8 +89,31 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    # -- fused storage ---------------------------------------------------
+    def flatten_parameters(self):
+        """Pack parameters, buffers and gradients into contiguous arrays.
+
+        Returns the module's :class:`~repro.nn.flat.FlatParamBuffer`,
+        creating and binding it on first call.  After flattening,
+        ``state_dict`` snapshots are single-memcpy
+        :class:`~repro.nn.flat.FlatState` objects and SGD/aggregation
+        take fused vectorised fast paths.  Idempotent; numerics are
+        bit-identical to the unflattened module.
+        """
+        if self._flat is None or not self._flat.is_intact():
+            from .flat import FlatParamBuffer
+            try:
+                self._flat = FlatParamBuffer(self)
+            except TypeError:
+                # Non-float32 storage: leave the module unfused.
+                self._flat = None
+        return self._flat
+
     # -- state ----------------------------------------------------------
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        flat = self._flat
+        if flat is not None and flat.is_intact():
+            return flat.state_dict()
         state: OrderedDict[str, np.ndarray] = OrderedDict()
         for name, param in self.named_parameters():
             state[name] = param.data.copy()
@@ -98,6 +122,12 @@ class Module:
         return state
 
     def load_state_dict(self, state: dict) -> None:
+        flat = self._flat
+        if (flat is not None and flat.is_intact()
+                and getattr(state, "layout", None) is flat.layout
+                and state.is_intact()):
+            flat.load_flat(state)
+            return
         params = dict(self.named_parameters())
         buffers = dict(self.named_buffers())
         missing = set(params) | set(buffers)

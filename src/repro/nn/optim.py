@@ -22,7 +22,7 @@ class SGD:
 
     def __init__(self, params: Sequence[Tensor], lr: float,
                  momentum: float = 0.0, weight_decay: float = 0.0,
-                 nesterov: bool = False):
+                 nesterov: bool = False, flat=None):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         if nesterov and momentum == 0.0:
@@ -33,12 +33,47 @@ class SGD:
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+        self._flat = None
+        self._flat_velocity: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+        self._scratch2: np.ndarray | None = None
+        if flat is not None:
+            self.bind_flat(flat)
+
+    def bind_flat(self, flat) -> bool:
+        """Bind a :class:`~repro.nn.flat.FlatParamBuffer` for fused
+        in-place updates.
+
+        When every optimised parameter is (in order) a tensor of
+        ``flat``, ``step`` collapses to a handful of whole-model array
+        ops with no per-step temporaries — bit-identical to the
+        per-parameter loop, which remains as the fallback whenever a
+        gradient is missing or was rebound away from the fused buffer.
+        Returns True when the binding took effect.
+        """
+        if len(self.params) != len(flat.param_tensors):
+            return False
+        for mine, theirs in zip(self.params, flat.param_tensors):
+            if mine is not theirs:
+                return False
+        self._flat = flat
+        if self.momentum:
+            self._flat_velocity = np.zeros(flat.layout.param_total,
+                                           dtype=np.float32)
+            # The slow path mutates these views, so both paths always
+            # share one coherent velocity state.
+            self._velocity = flat.layout.param_views(self._flat_velocity)
+        return True
 
     def zero_grad(self) -> None:
         for param in self.params:
             param.zero_grad()
 
     def step(self) -> None:
+        flat = self._flat
+        if flat is not None and flat.is_intact() and flat.grads_ready():
+            self._fused_step(flat)
+            return
         for i, param in enumerate(self.params):
             if param.grad is None:
                 continue
@@ -54,6 +89,43 @@ class SGD:
                 grad = grad + self.momentum * velocity if self.nesterov else velocity
             param.data -= self.lr * grad
 
+    def _fused_step(self, flat) -> None:
+        """Whole-model update on the fused buffers.
+
+        Runs the exact elementwise operations of the per-parameter loop
+        over the concatenated storage (scalar factors stay weak-typed
+        float32 under NEP 50), so results match bit for bit.
+        """
+        grads = flat.grads
+        params = flat.params
+        if self._scratch is None:
+            self._scratch = np.empty_like(grads)
+        scratch = self._scratch
+        eff = grads
+        if self.weight_decay:
+            np.multiply(params, self.weight_decay, out=scratch)
+            scratch += grads
+            eff = scratch
+        if self.momentum:
+            velocity = self._flat_velocity
+            velocity *= self.momentum
+            velocity += eff
+            if self.nesterov:
+                if eff is scratch:
+                    if self._scratch2 is None:
+                        self._scratch2 = np.empty_like(grads)
+                    out = self._scratch2
+                else:
+                    out = scratch
+                np.multiply(velocity, self.momentum, out=out)
+                out += eff
+                eff = out
+            else:
+                eff = velocity
+        target = eff if (eff is scratch or eff is self._scratch2) else scratch
+        np.multiply(eff, self.lr, out=target)
+        params -= target
+
     def state_dict(self) -> dict:
         return {
             "lr": self.lr,
@@ -62,8 +134,12 @@ class SGD:
 
     def load_state_dict(self, state: dict) -> None:
         self.lr = state["lr"]
-        self._velocity = [None if v is None else v.copy()
-                          for v in state["velocity"]]
+        if self._flat_velocity is not None:
+            for view, value in zip(self._velocity, state["velocity"]):
+                view[...] = 0.0 if value is None else value
+        else:
+            self._velocity = [None if v is None else v.copy()
+                              for v in state["velocity"]]
 
 
 class Adam:

@@ -65,7 +65,8 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_grad_buf")
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         if isinstance(data, Tensor):
@@ -76,6 +77,10 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        #: preallocated gradient storage (a view into a fused flat array
+        #: when the owning module has been flattened); ``_accumulate``
+        #: writes the first gradient here instead of allocating
+        self._grad_buf: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -138,7 +143,14 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = grad.astype(np.float32, copy=True)
+            buf = self._grad_buf
+            if buf is not None and buf.shape == grad.shape:
+                # np.copyto casts exactly like astype; writing into the
+                # fused buffer keeps the whole model gradient contiguous.
+                np.copyto(buf, grad)
+                self.grad = buf
+            else:
+                self.grad = grad.astype(np.float32, copy=True)
         else:
             self.grad += grad
 

@@ -1,0 +1,14 @@
+"""Parallel execution of independent logical-group replicas.
+
+Between two sync points (the per-epoch leader ring), SoCFlow's logical
+groups train on disjoint data shards and never communicate, so their
+real-math training loops can run in separate OS processes.  The
+:class:`~repro.parallel.pool.LgExecutor` ships each group's runtime
+state to a persistent worker pool through shared-memory flat buffers,
+runs the group's whole epoch there, and loads the results back —
+bit-identical to the sequential loop.
+"""
+
+from .pool import LgExecutor
+
+__all__ = ["LgExecutor"]

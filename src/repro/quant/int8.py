@@ -11,7 +11,7 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["QuantConfig", "quantize", "dequantize", "fake_quantize",
-           "quantization_error"]
+           "fake_quantize_segments", "quantization_error"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,39 @@ def fake_quantize(x: np.ndarray, config: QuantConfig,
         scale = _scale_for(x, qmax)
     use_rng = rng if config.stochastic_rounding else None
     return dequantize(quantize(x, scale, qmax, rng=use_rng), scale)
+
+
+def fake_quantize_segments(flat: np.ndarray, starts: np.ndarray,
+                           sizes: np.ndarray, config: QuantConfig,
+                           rng: np.random.Generator | None = None
+                           ) -> np.ndarray:
+    """Fused :func:`fake_quantize` over contiguous segments of one array.
+
+    ``flat`` is a 1-D float32 array; segment ``i`` spans
+    ``flat[starts[i]:starts[i]+sizes[i]]`` and gets its own per-tensor
+    scale, exactly as if :func:`fake_quantize` had been called on each
+    segment in order — bit for bit, including the stochastic-rounding
+    random stream: one ``rng.random(flat.size)`` draw consumes the PCG64
+    stream identically to per-segment draws.
+    """
+    if config.float16:
+        return flat.astype(np.float16).astype(np.float32)
+    qmax = config.qmax
+    maxima = np.maximum.reduceat(np.abs(flat), starts)
+    # Per-tensor path computes the scale as a float64 python scalar but
+    # divides weak-typed, i.e. in float32; mirror both dtypes exactly.
+    scales = np.where(maxima == 0.0, 1.0, maxima.astype(np.float64) / qmax)
+    scaled = flat / np.repeat(scales.astype(np.float32), sizes)
+    if rng is not None and config.stochastic_rounding:
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        scaled = floor + (rng.random(flat.size) < frac)
+    else:
+        scaled = np.rint(scaled)
+    q = np.clip(scaled, -qmax, qmax).astype(np.int32)
+    # Dequantise: int32 * float64 scale, then one cast to float32 — the
+    # same promotion ``(q * scale).astype(float32)`` performs per tensor.
+    return (q * np.repeat(scales, sizes)).astype(np.float32)
 
 
 def quantization_error(x: np.ndarray, config: QuantConfig) -> float:

@@ -20,6 +20,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..nn.flat import FlatState, common_flat_layout
+
 __all__ = ["compute_alpha", "compute_beta", "cpu_fraction", "merge_weights",
            "MixedPrecisionController"]
 
@@ -66,8 +68,19 @@ def cpu_fraction(alpha: float, beta: float) -> float:
 def merge_weights(w_fp32: "OrderedDict[str, np.ndarray]",
                   w_int8: "OrderedDict[str, np.ndarray]",
                   alpha: float) -> "OrderedDict[str, np.ndarray]":
-    """On-chip weight aggregation (Eq. 5)."""
+    """On-chip weight aggregation (Eq. 5).
+
+    When both states are intact :class:`~repro.nn.flat.FlatState`
+    snapshots sharing a layout, the merge is one fused vectorised
+    expression over the whole model (bit-identical to the per-key loop:
+    same weak-typed float32 elementwise ops over the same segments).
+    """
     coeff = math.exp(-alpha)
+    layout = common_flat_layout((w_fp32, w_int8))
+    if layout is not None:
+        merged_flat = (coeff * w_fp32.flat
+                       + (1.0 - coeff) * w_int8.flat).astype(np.float32)
+        return FlatState(layout, merged_flat)
     merged: OrderedDict[str, np.ndarray] = OrderedDict()
     for name, fp32_value in w_fp32.items():
         merged[name] = (coeff * fp32_value

@@ -24,7 +24,7 @@ from ..nn.modules import Module
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor, no_grad
 from ..nn import functional as F
-from .int8 import QuantConfig, fake_quantize
+from .int8 import QuantConfig, fake_quantize, fake_quantize_segments
 from .observer import EmaObserver
 
 __all__ = ["Int8Trainer"]
@@ -46,10 +46,39 @@ class Int8Trainer:
         if config.quantize_activations:
             from .ste import attach_activation_quant
             attach_activation_quant(model, config)
+        flat = model.flatten_parameters()
+        if flat is not None:
+            self.optimizer.bind_flat(flat)
+
+    def _flat(self):
+        flat = self.model._flat
+        if flat is not None and flat.is_intact():
+            return flat
+        return None
+
+    @staticmethod
+    def _param_segments(flat):
+        layout = flat.layout
+        n = layout.num_params
+        return (np.asarray(layout.offsets[:n], dtype=np.intp),
+                np.asarray(layout.sizes[:n], dtype=np.intp))
 
     # ------------------------------------------------------------------
-    def _quantized_weights(self) -> list[np.ndarray]:
-        """Snap weights onto the INT8 grid, returning the FP32 masters."""
+    def _quantized_weights(self):
+        """Snap weights onto the INT8 grid, returning the FP32 masters.
+
+        On a flattened model this is one fused pass over the contiguous
+        parameter region (masters come back as a single array copy); the
+        per-parameter loop remains for unflattened models.
+        """
+        flat = self._flat()
+        if flat is not None:
+            masters = flat.params.copy()
+            if self.config.quantize_weights:
+                starts, sizes = self._param_segments(flat)
+                flat.params[...] = fake_quantize_segments(
+                    flat.params, starts, sizes, self.config)
+            return masters
         masters: list[np.ndarray] = []
         for param in self.model.parameters():
             masters.append(param.data)
@@ -57,7 +86,10 @@ class Int8Trainer:
                 param.data = fake_quantize(param.data, self.config)
         return masters
 
-    def _restore_weights(self, masters: list[np.ndarray]) -> None:
+    def _restore_weights(self, masters) -> None:
+        if isinstance(masters, np.ndarray):       # fused snapshot
+            self.model._flat.params[...] = masters
+            return
         for param, master in zip(self.model.parameters(), masters):
             param.data = master
 
@@ -83,10 +115,18 @@ class Int8Trainer:
             self._clip_gradients()
         if self.config.quantize_gradients:
             rng = self.rng if self.config.stochastic_rounding else None
-            for param in self.model.parameters():
-                if param.grad is not None:
-                    param.grad = fake_quantize(param.grad, self.config,
-                                               rng=rng)
+            flat = self._flat()
+            if flat is not None and flat.grads_ready():
+                # Fused: quantise the whole gradient buffer in one pass,
+                # writing in place so the fused SGD step stays armed.
+                starts, sizes = self._param_segments(flat)
+                flat.grads[...] = fake_quantize_segments(
+                    flat.grads, starts, sizes, self.config, rng=rng)
+            else:
+                for param in self.model.parameters():
+                    if param.grad is not None:
+                        param.grad = fake_quantize(param.grad, self.config,
+                                                   rng=rng)
         self.optimizer.step()
         return loss.item()
 
@@ -102,6 +142,36 @@ class Int8Trainer:
             scale = self.max_grad_norm / norm
             for grad in grads:
                 grad *= scale
+
+    # ------------------------------------------------------------------
+    def _activation_observers(self):
+        observers = []
+        for module in self.model.modules():
+            quant = getattr(module, "output_quant", None)
+            if quant is not None and hasattr(quant, "observer"):
+                observers.append(quant.observer)
+        return observers
+
+    def runtime_state(self) -> dict:
+        """Everything needed to resume this trainer bit-identically in
+        another process: weights, optimiser velocity, the stochastic-
+        rounding RNG stream and every EMA range observer."""
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "rng": self.rng.bit_generator.state,
+            "input_ema": self._input_observer._ema,
+            "activation_emas": [o._ema for o in self._activation_observers()],
+        }
+
+    def load_runtime_state(self, state: dict) -> None:
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.rng.bit_generator.state = state["rng"]
+        self._input_observer._ema = state["input_ema"]
+        for observer, ema in zip(self._activation_observers(),
+                                 state["activation_emas"]):
+            observer._ema = ema
 
     def predict_logits(self, inputs: np.ndarray) -> np.ndarray:
         """Inference logits through the quantised model."""

@@ -1,0 +1,83 @@
+"""Fused segment quantisation must match per-tensor quantisation bit
+for bit, including the stochastic-rounding random stream."""
+
+import numpy as np
+import pytest
+
+from repro.quant.int8 import (QuantConfig, fake_quantize,
+                              fake_quantize_segments)
+
+
+def segmented_array(sizes, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    flat = (rng.standard_normal(sum(sizes)) * scale).astype(np.float32)
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+    return flat, starts, np.asarray(sizes, dtype=np.int64)
+
+
+def perkey_reference(flat, starts, sizes, config, rng=None):
+    out = np.empty_like(flat)
+    for start, size in zip(starts, sizes):
+        seg = flat[start:start + size]
+        out[start:start + size] = fake_quantize(seg, config, rng=rng)
+    return out
+
+
+SIZES = [64, 1, 300, 7, 128]
+
+
+@pytest.mark.parametrize("bits", [8, 4])
+def test_deterministic_rounding_matches_per_tensor(bits):
+    config = QuantConfig(bits=bits, stochastic_rounding=False)
+    flat, starts, sizes = segmented_array(SIZES)
+    fused = fake_quantize_segments(flat, starts, sizes, config)
+    assert np.array_equal(fused, perkey_reference(flat, starts, sizes,
+                                                  config))
+
+
+def test_stochastic_rounding_consumes_identical_rng_stream():
+    config = QuantConfig(bits=8, stochastic_rounding=True)
+    flat, starts, sizes = segmented_array(SIZES, seed=3)
+    fused = fake_quantize_segments(flat, starts, sizes, config,
+                                   rng=np.random.default_rng(42))
+    perkey = perkey_reference(flat, starts, sizes, config,
+                              rng=np.random.default_rng(42))
+    assert np.array_equal(fused, perkey)
+
+
+def test_rng_position_identical_after_call():
+    config = QuantConfig(bits=8, stochastic_rounding=True)
+    flat, starts, sizes = segmented_array(SIZES, seed=5)
+    rng_fused = np.random.default_rng(7)
+    rng_perkey = np.random.default_rng(7)
+    fake_quantize_segments(flat, starts, sizes, config, rng=rng_fused)
+    perkey_reference(flat, starts, sizes, config, rng=rng_perkey)
+    # downstream draws must agree, i.e. both consumed the same stream
+    assert np.array_equal(rng_fused.random(8), rng_perkey.random(8))
+
+
+def test_zero_segment_uses_unit_scale():
+    config = QuantConfig(bits=8, stochastic_rounding=False)
+    flat, starts, sizes = segmented_array([16, 16, 16], seed=1)
+    flat[16:32] = 0.0
+    fused = fake_quantize_segments(flat, starts, sizes, config)
+    assert np.array_equal(fused, perkey_reference(flat, starts, sizes,
+                                                  config))
+    assert np.all(fused[16:32] == 0.0)
+
+
+def test_float16_format_matches_per_tensor():
+    config = QuantConfig(float16=True)
+    flat, starts, sizes = segmented_array(SIZES, seed=2)
+    fused = fake_quantize_segments(flat, starts, sizes, config)
+    assert np.array_equal(fused, perkey_reference(flat, starts, sizes,
+                                                  config))
+
+
+def test_extreme_magnitudes_match_per_tensor():
+    config = QuantConfig(bits=8, stochastic_rounding=False)
+    flat, starts, sizes = segmented_array([32, 32], seed=4, scale=1e30)
+    flat[32:] *= 1e-60  # second segment tiny
+    fused = fake_quantize_segments(flat, starts, sizes, config)
+    assert np.array_equal(fused, perkey_reference(flat, starts, sizes,
+                                                  config))
