@@ -1,0 +1,122 @@
+"""Extension: elastic multi-tenant scheduling vs a static window (ext-5).
+
+Three tenants share a 16-SoC cluster whose day job is tidal user
+sessions.  The elastic scheduler starts every job at its gang floor,
+grows it into whatever the trace leaves idle (capped at ``max_socs``),
+and shrinks or preempts when sessions reclaim chips.  The baseline is
+the operator playbook the paper argues against: a fixed overnight
+maintenance window in which each job only ever holds its ``min_socs``
+floor.  Both policies run the same job file over the same simulated
+day, so the comparison isolates the scheduling policy.
+
+Expected outcome: the elastic run finishes every job, harvests
+strictly more of the idle SoC-hours, and gives up nothing on final
+accuracy.  When ``BENCH_ELASTIC_OUT`` is set the side-by-side report
+is written there as JSON (CI uploads it as an artifact).
+"""
+
+import json
+import os
+
+from conftest import print_block
+
+from repro.cluster import ClusterTopology
+from repro.cluster.workload import SessionSimulator
+from repro.harness import format_table
+from repro.jobs import ElasticScheduler, TrainingJob
+
+SOCS = 16
+PEAK_SESSIONS = 30          # scaled to the 16-SoC cluster
+HORIZON_HOURS = 12.0        # midnight trough through the morning ramp
+STATIC_WINDOW = (0.0, 6.0)  # the operator's overnight window
+REPORT_ENV = "BENCH_ELASTIC_OUT"
+
+#: One job file, two policies.  Mixed sizes and priorities so the
+#: fair-share surplus and the gang floors both matter.
+JOBS = (
+    # mobilenet's warm-up admits only large groups at quick scale
+    # (Eq. 1: splitting it across more groups costs accuracy it cannot
+    # recover in 3 epochs), so growth adds SoCs inside the group
+    TrainingJob(id="mobilenet-nightly", workload="mobilenet", priority=3,
+                min_socs=4, max_socs=12, epochs=3, target_group_size=8),
+    TrainingJob(id="fmnist-batch", workload="lenet5_fmnist", priority=2,
+                min_socs=2, max_socs=8, epochs=3),
+    TrainingJob(id="emnist-batch", workload="lenet5_emnist", priority=1,
+                min_socs=2, max_socs=8, epochs=3, submit_hour=0.5),
+)
+
+
+def run_policy(elastic: bool):
+    topology = ClusterTopology(num_socs=SOCS)
+    sessions = SessionSimulator(
+        topology, peak_sessions_per_hour=PEAK_SESSIONS,
+        seed=0).simulate_day()
+    kwargs = {} if elastic else {"elastic": False, "window": STATIC_WINDOW}
+    scheduler = ElasticScheduler(topology, sessions,
+                                 horizon_hours=HORIZON_HOURS, **kwargs)
+    for job in JOBS:
+        scheduler.submit(job)
+    return scheduler.run()
+
+
+def comparison_report(elastic, static) -> dict:
+    return {
+        "socs": SOCS,
+        "horizon_hours": HORIZON_HOURS,
+        "static_window": list(STATIC_WINDOW),
+        "elastic": elastic.to_dict(),
+        "static": static.to_dict(),
+        "utilisation_gain": round(
+            elastic.utilisation - static.utilisation, 6),
+    }
+
+
+def test_elastic_beats_static_overnight_window(benchmark):
+    def compute():
+        return run_policy(elastic=True), run_policy(elastic=False)
+
+    elastic, static = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for label, report in (("elastic", elastic), ("static", static)):
+        rows.append([label, round(100 * report.utilisation, 1),
+                     round(report.used_soc_hours, 1),
+                     round(report.available_soc_hours, 1),
+                     len(report.completed), report.rounds])
+    print_block("ext-5: elastic vs static overnight window",
+                format_table(["policy", "util_pct", "used_soc_h",
+                              "avail_soc_h", "completed", "rounds"], rows))
+    acc_rows = [[job.id,
+                 round(100 * elastic.jobs[job.id].final_accuracy, 1),
+                 round(100 * static.jobs[job.id].final_accuracy, 1),
+                 elastic.jobs[job.id].resizes,
+                 round(elastic.jobs[job.id].soc_hours, 1),
+                 round(static.jobs[job.id].soc_hours, 1)]
+                for job in JOBS]
+    print_block("ext-5: per-job accuracy and footprint",
+                format_table(["job", "elastic_acc", "static_acc",
+                              "resizes", "elastic_soc_h", "static_soc_h"],
+                             acc_rows))
+
+    out = os.environ.get(REPORT_ENV)
+    if out:
+        with open(out, "w") as fh:
+            json.dump(comparison_report(elastic, static), fh, indent=2,
+                      sort_keys=True)
+
+    # every tenant finishes its full epoch budget under both policies,
+    # so the accuracy comparison is like for like
+    assert elastic.completed == sorted(j.id for j in JOBS)
+    assert static.completed == sorted(j.id for j in JOBS)
+    for job in JOBS:
+        assert elastic.jobs[job.id].epochs_done == job.epochs
+        # elastic growth re-shards the data over more groups; it must
+        # not cost accuracy (beyond quick-scale noise)
+        assert (elastic.jobs[job.id].final_accuracy
+                >= static.jobs[job.id].final_accuracy - 0.03)
+    # the headline claim: elastic harvests strictly more idle capacity
+    assert elastic.used_soc_hours > static.used_soc_hours
+    assert elastic.utilisation > static.utilisation
+    # and it actually used the elasticity, not just bigger gangs
+    assert sum(r.resizes for r in elastic.jobs.values()) >= 1
+    assert all(r.resizes == 0 for r in static.jobs.values())

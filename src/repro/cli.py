@@ -4,6 +4,7 @@ Commands
 --------
 ``run``       train one workload with one method and print the summary
 ``compare``   run several methods on one workload, print a table
+``jobs``      schedule a multi-tenant job file over the tidal trace
 ``list``      show available workloads, methods, presets and models
 ``trace``     print the tidal utilisation trace and idle windows
 
@@ -32,6 +33,7 @@ Examples
     python -m repro.cli run --workload vgg11 --trace run.json \
         --metrics run-metrics.jsonl
     python -m repro.cli compare --workload resnet18 --methods ring,socflow
+    python -m repro.cli jobs --spec examples/jobs.yaml --report report.json
     python -m repro.cli trace --threshold 0.25
 """
 
@@ -67,6 +69,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(compare)
     compare.add_argument("--methods", default="ring,fedavg,socflow",
                          help="comma-separated method names")
+
+    jobs = sub.add_parser(
+        "jobs", help="schedule a multi-tenant job file over the tidal trace")
+    jobs.add_argument("--spec", required=True, metavar="PATH",
+                      help="YAML/JSON job file ({cluster: ..., jobs: [...]})")
+    jobs.add_argument("--socs", type=int, default=None,
+                      help="cluster size (overrides the file's cluster "
+                           "section; default 32)")
+    jobs.add_argument("--seed", type=int, default=None,
+                      help="session-trace seed (overrides the file)")
+    jobs.add_argument("--horizon", type=float, default=None,
+                      help="scheduling horizon in hours (default 24)")
+    jobs.add_argument("--start-hour", type=float, default=None,
+                      help="simulation start on the tidal day (default 0)")
+    jobs.add_argument("--quantum", type=float, default=None,
+                      help="minimum scheduling-round length, hours "
+                           "(default 0.25)")
+    jobs.add_argument("--sessions-per-hour", type=float, default=None,
+                      help="peak user-session arrival rate (default 60)")
+    jobs.add_argument("--static-window", default=None, metavar="START:HOURS",
+                      help="disable elasticity: jobs run only inside the "
+                           "fixed window, e.g. '22:8'")
+    jobs.add_argument("--workers", type=_positive_int, default=1,
+                      help="host processes for logical-group real math")
+    jobs.add_argument("--faults", default=None, metavar="SPEC",
+                      help="fault-injection spec (epochs = rounds)")
+    jobs.add_argument("--report", default=None, metavar="PATH",
+                      help="write the schedule report as JSON")
+    _add_telemetry_args(jobs)
 
     sub.add_parser("list", help="show workloads, methods, presets, models")
 
@@ -104,6 +135,10 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                         choices=("fail-stop", "continue"),
                         help="baseline reaction to dead SoCs "
                              "(SoCFlow always recovers)")
+    _add_telemetry_args(parser)
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a trace of the simulated run "
                              "(open chrome format in Perfetto)")
@@ -258,6 +293,107 @@ def cmd_compare(args, out) -> int:
     return 0
 
 
+def _parse_static_window(spec: str) -> tuple[float, float]:
+    """``'22:8'`` -> (start hour 22.0, duration 8.0 h)."""
+    start_s, sep, hours_s = spec.partition(":")
+    try:
+        start, hours = float(start_s), float(hours_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --static-window {spec!r}; expected START:HOURS") from None
+    if not sep or hours <= 0:
+        raise argparse.ArgumentTypeError(
+            f"bad --static-window {spec!r}; expected START:HOURS")
+    return start, hours
+
+
+def _job_row(record) -> list:
+    return [record.job.id, record.status, record.job.priority,
+            f"{record.epochs_done}/{record.job.epochs}",
+            f"{record.final_accuracy:.1%}",
+            round(record.soc_hours, 1), record.resizes, record.preemptions]
+
+
+_JOB_HEADERS = ["job", "status", "prio", "epochs", "accuracy", "soc_h",
+                "resizes", "preempts"]
+
+
+def cmd_jobs(args, out) -> int:
+    from .cluster.workload import SessionSimulator
+    from .jobs import ElasticScheduler, JobAdmissionError, JobSpecError, \
+        load_job_file
+    try:
+        jobs, cluster = load_job_file(args.spec)
+    except (JobSpecError, OSError) as err:
+        print(f"bad job file: {err}", file=sys.stderr)
+        return 2
+
+    def setting(cli_value, key, default):
+        if cli_value is not None:
+            return cli_value
+        return cluster.get(key, default)
+
+    socs = int(setting(args.socs, "socs", 32))
+    seed = int(setting(args.seed, "seed", 0))
+    peak = float(setting(args.sessions_per_hour,
+                         "peak_sessions_per_hour", 60.0))
+    horizon = float(setting(args.horizon, "horizon_hours", 24.0))
+    start_hour = float(setting(args.start_hour, "start_hour", 0.0))
+    quantum = float(setting(args.quantum, "quantum_hours", 0.25))
+    topology = ClusterTopology(num_socs=socs)
+    try:
+        fault_schedule = (None if args.faults is None
+                          else parse_fault_spec(args.faults, topology))
+    except FaultSpecError as err:
+        print(f"bad --faults spec: {err}", file=sys.stderr)
+        return 2
+    window = None
+    if args.static_window is not None:
+        try:
+            window = _parse_static_window(args.static_window)
+        except argparse.ArgumentTypeError as err:
+            print(str(err), file=sys.stderr)
+            return 2
+    simulator = SessionSimulator(topology, peak_sessions_per_hour=peak,
+                                 seed=seed)
+    sessions = simulator.simulate_day()
+    telemetry = _telemetry_for(args)
+    scheduler = ElasticScheduler(
+        topology, sessions, quantum_hours=quantum, horizon_hours=horizon,
+        start_hour=start_hour, elastic=window is None, window=window,
+        fault_schedule=fault_schedule, telemetry=telemetry,
+        workers=args.workers)
+    admitted = 0
+    for job in jobs:
+        try:
+            scheduler.submit(job)
+            admitted += 1
+        except JobAdmissionError as err:
+            print(f"rejected: {err}", file=out)
+    if not admitted:
+        print("no jobs admitted", file=sys.stderr)
+        return 1
+    report = scheduler.run()
+    rows = [_job_row(report.jobs[job_id]) for job_id in sorted(report.jobs)]
+    print(format_table(_JOB_HEADERS, rows), file=out)
+    mode = "elastic" if window is None else \
+        f"static window {window[0]:g}h+{window[1]:g}h"
+    print(f"{mode}: {len(report.completed)}/{len(report.jobs)} jobs "
+          f"completed over {report.horizon_hours:g} h in {report.rounds} "
+          f"rounds", file=out)
+    print(f"idle-capacity utilisation: {report.utilisation:.1%} "
+          f"({report.used_soc_hours:.1f} of "
+          f"{report.available_soc_hours:.1f} SoC-hours)", file=out)
+    if args.report is not None:
+        import json
+        with open(args.report, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report -> {args.report}", file=out)
+    _emit_telemetry(args, telemetry, out)
+    return 0
+
+
 def cmd_list(args, out) -> int:
     del args
     print("workloads:", ", ".join(sorted(WORKLOADS)), file=out)
@@ -278,8 +414,8 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
-_COMMANDS = {"run": cmd_run, "compare": cmd_compare, "list": cmd_list,
-             "trace": cmd_trace}
+_COMMANDS = {"run": cmd_run, "compare": cmd_compare, "jobs": cmd_jobs,
+             "list": cmd_list, "trace": cmd_trace}
 
 
 def main(argv: list[str] | None = None, out=None) -> int:

@@ -93,6 +93,18 @@ class SessionSimulator:
         return {s.soc for s in sessions
                 if s.start_hour <= hour < s.end_hour}
 
+    def idle_socs_at(self, sessions: list[Session],
+                     hour: float) -> list[int]:
+        """SoCs free for training at ``hour``, in id order.
+
+        The complement of :meth:`busy_socs_at` over the topology; the
+        list is sorted so schedulers iterating it stay deterministic.
+        At peak load this is legitimately *empty* — a training job must
+        then stay queued rather than plan an empty logical group.
+        """
+        busy = self.busy_socs_at(sessions, hour)
+        return [s for s in range(self.topology.num_socs) if s not in busy]
+
     def busy_curve(self, sessions: list[Session],
                    resolution_hours: float = 0.25) -> tuple[np.ndarray,
                                                             np.ndarray]:
@@ -116,9 +128,19 @@ def derive_training_events(sessions: list[Session],
     Whenever new sessions claim enough previously-idle SoCs to exhaust
     a logical group's worth of capacity, one group is preempted at the
     next epoch boundary.
+
+    A window too busy to host even one logical group (``idle_socs <
+    socs_per_group`` — the zero-idle case included) returns no events:
+    nothing was ever planned, so there is nothing to preempt.  Callers
+    (e.g. the :mod:`repro.jobs` scheduler) must keep such a job queued
+    instead of starting it — an empty logical group is never planned.
     """
     if socs_per_group <= 0 or epoch_hours <= 0:
         raise ValueError("socs_per_group and epoch_hours must be positive")
+    if idle_socs < 0:
+        raise ValueError("idle_socs must be non-negative")
+    if idle_socs < socs_per_group:
+        return []
     events: list[PreemptionEvent] = []
     baseline = len(SessionSimulator.busy_socs_at(sessions,
                                                  window_start_hour))

@@ -14,8 +14,9 @@
   switches (Figure 13).
 """
 
-from .grouping import (GroupSizeSelector, epoch_time_model,
-                       first_epoch_accuracy_profile, survivor_group_count)
+from .grouping import (GroupSizeSelector, allocation_group_count,
+                       epoch_time_model, first_epoch_accuracy_profile,
+                       survivor_group_count)
 from .mapping import (MappingResult, integrity_greedy_mapping, naive_mapping,
                       nic_conflict_count, contention_degree)
 from .planning import CommunicationPlan, build_conflict_graph, divide_into_cgs
@@ -24,11 +25,11 @@ from .mixed_precision import GroupMixedTrainer
 from .federation import CrossSiteConfig, CrossSiteSoCFlow
 from .profiler import ProcessorProfiler, ProfileResult
 from .scheduler import GlobalScheduler, PreemptionEvent, UnderclockEvent
-from .socflow import SoCFlow, SoCFlowOptions, build_socflow
+from .socflow import SoCFlow, SoCFlowOptions, build_socflow, reform_groups
 
 __all__ = [
     "GroupSizeSelector", "epoch_time_model", "first_epoch_accuracy_profile",
-    "survivor_group_count",
+    "survivor_group_count", "allocation_group_count", "reform_groups",
     "MappingResult", "integrity_greedy_mapping", "naive_mapping",
     "nic_conflict_count", "contention_degree",
     "CommunicationPlan", "build_conflict_graph", "divide_into_cgs",

@@ -19,7 +19,31 @@ from dataclasses import dataclass
 from ..distributed.base import CostModel, RunConfig
 
 __all__ = ["epoch_time_model", "first_epoch_accuracy_profile",
-           "GroupSizeSelector", "survivor_group_count"]
+           "GroupSizeSelector", "survivor_group_count",
+           "allocation_group_count"]
+
+
+def allocation_group_count(num_allocated: int, target_group_size: int,
+                           max_groups: int | None = None) -> int:
+    """Re-run Eq. 1's group sizing for an elastic job allocation.
+
+    The accuracy-admissible group size is fixed by the job's warm-up
+    (``target_group_size``); Eq. 1 is monotone decreasing in N, so the
+    fastest admissible choice on ``num_allocated`` SoCs is the largest
+    N keeping groups at or above that size: ``num_allocated //
+    target_group_size``, clamped to at least one group, at most one
+    group per SoC, and optionally to ``max_groups``.  Unlike
+    :func:`survivor_group_count` this re-grows the group count when an
+    elastic scheduler hands the job *more* SoCs than it had before.
+    """
+    if num_allocated <= 0:
+        raise ValueError("need at least one allocated SoC")
+    if target_group_size <= 0:
+        raise ValueError("target_group_size must be positive")
+    count = max(1, min(num_allocated // target_group_size, num_allocated))
+    if max_groups is not None:
+        count = max(1, min(count, max_groups))
+    return count
 
 
 def survivor_group_count(num_alive: int, prev_num_groups: int,

@@ -71,11 +71,20 @@ class GlobalScheduler:
 
     # -- dispatch -------------------------------------------------------
     def dispatch_seconds(self, fabric: NetworkFabric, model_bytes: float,
-                         data_bytes_per_soc: float) -> float:
+                         data_bytes_per_soc: float,
+                         socs: "list[int] | None" = None) -> float:
         """Broadcast the model and per-SoC data shards from the control
-        board at the start of a job."""
+        board at the start of a job.
+
+        ``socs`` restricts the broadcast to a job's allocated subset
+        (multi-tenant schedules dispatch each admitted job only to the
+        SoCs it was gang-placed on); the default is the whole cluster.
+        """
         from ..cluster.network import CONTROL_BOARD
-        socs = list(range(self.topology.num_socs))
+        if socs is None:
+            socs = list(range(self.topology.num_socs))
+        else:
+            socs = sorted(socs)
         per_soc = model_bytes + data_bytes_per_soc
         return fabric.transfer_time(
             [_flow(CONTROL_BOARD, s, per_soc) for s in socs])

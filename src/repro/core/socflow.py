@@ -43,7 +43,35 @@ from .mixed_precision import GroupMixedTrainer
 from .planning import CommunicationPlan
 from .scheduler import GlobalScheduler, PreemptionEvent
 
-__all__ = ["SoCFlowOptions", "SoCFlow", "build_socflow"]
+__all__ = ["SoCFlowOptions", "SoCFlow", "build_socflow", "reform_groups"]
+
+
+def reform_groups(config: RunConfig, controller, quant,
+                  groups: "list[GroupMixedTrainer]", num_groups: int,
+                  state: dict, int8_only: bool = False
+                  ) -> "list[GroupMixedTrainer]":
+    """Shrink or grow a warm trainer list to ``num_groups`` members.
+
+    The shared rollback path of fault recovery and elastic resize:
+    surviving trainers are reused so their warm runtime state
+    (optimizer momentum, INT8 calibration RNG) carries across, new
+    members are built at their seed offsets, and every member loads
+    ``state`` — the last globally-merged checkpoint.
+    """
+    if not groups:
+        raise ValueError("need at least one warm trainer to reform from")
+    if num_groups < 1:
+        raise ValueError("num_groups must be >= 1")
+    groups = groups[:num_groups]
+    for g in range(len(groups), num_groups):
+        trainer = GroupMixedTrainer(config, controller, quant,
+                                    seed_offset=g, mixed=groups[0].mixed)
+        if int8_only:
+            trainer.train_batch = _int8_only_step(trainer)  # type: ignore
+        groups.append(trainer)
+    for group in groups:
+        group.load_state(state)
+    return groups
 
 
 @dataclass(frozen=True)
@@ -604,17 +632,10 @@ class SoCFlow(Strategy):
         mapping = self._build_mapping(config, alive=set(survivors),
                                       num_groups=num_groups)
         plan = CommunicationPlan.from_mapping(mapping)
-        groups = groups[:num_groups]
-        for g in range(len(groups), num_groups):    # SoCs rejoined
-            trainer = GroupMixedTrainer(config, controller,
-                                        self.options.quant, seed_offset=g,
-                                        mixed=groups[0].mixed)
-            if self.options.precision == "int8":
-                trainer.train_batch = _int8_only_step(trainer)  # type: ignore
-            groups.append(trainer)
         rollback_state, rollback_epoch = last_good
-        for group in groups:
-            group.load_state(rollback_state)
+        groups = reform_groups(
+            config, controller, self.options.quant, groups, num_groups,
+            rollback_state, int8_only=self.options.precision == "int8")
         recovery_t0 = cost.clock.now
         recovery_s = scheduler.recovery_seconds(cost.grad_bytes, cost.fabric,
                                                 survivors)

@@ -1,0 +1,101 @@
+"""Job queue with admission control.
+
+The queue is the scheduler's waiting room: submitted jobs are screened
+by structural admission control (can this job *ever* run on this
+cluster?), then wait in priority order — ties broken by submission
+time, then by submission sequence — until the elastic scheduler can
+gang-place at least ``min_socs`` free chips for them.  Preempted jobs
+re-enter the queue with their original submission time, so a tenant
+never loses its fairness position by being evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.topology import ClusterTopology
+from .spec import TrainingJob
+
+__all__ = ["JobAdmissionError", "QueueEntry", "JobQueue"]
+
+
+class JobAdmissionError(ValueError):
+    """The job can never run on this cluster and is rejected outright."""
+
+
+@dataclass(order=False)
+class QueueEntry:
+    """One queued job plus its fairness bookkeeping."""
+
+    job: TrainingJob
+    submit_hour: float          # when the tenant submitted (queue-wait t0)
+    sequence: int               # FIFO tie-break among equal priorities
+    requeues: int = 0           # how many preemptions sent it back here
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def sort_key(self) -> tuple:
+        return (-self.job.priority, self.submit_hour, self.sequence)
+
+
+class JobQueue:
+    """Priority queue with admission control for :class:`TrainingJob`.
+
+    Admission control is *structural*: a job whose ``min_socs`` exceeds
+    the cluster, whose workload is unknown, or whose id collides with a
+    previously admitted job is rejected at submit time with a reason —
+    it never occupies a queue slot it can never leave.
+    """
+
+    def __init__(self, topology: ClusterTopology,
+                 known_workloads: "set[str] | None" = None):
+        self.topology = topology
+        self.known_workloads = known_workloads
+        self._entries: list[QueueEntry] = []
+        self._admitted_ids: set[str] = set()
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, job: TrainingJob, hour: float) -> QueueEntry:
+        """Admit ``job`` at ``hour`` or raise :class:`JobAdmissionError`."""
+        if job.id in self._admitted_ids:
+            raise JobAdmissionError(f"duplicate job id {job.id!r}")
+        if job.min_socs > self.topology.num_socs:
+            raise JobAdmissionError(
+                f"job {job.id!r} needs >= {job.min_socs} SoCs but the "
+                f"cluster only has {self.topology.num_socs}")
+        if self.known_workloads is not None \
+                and job.workload not in self.known_workloads:
+            raise JobAdmissionError(
+                f"job {job.id!r}: unknown workload {job.workload!r}")
+        entry = QueueEntry(job=job, submit_hour=float(hour),
+                           sequence=self._sequence)
+        self._sequence += 1
+        self._admitted_ids.add(job.id)
+        self._entries.append(entry)
+        return entry
+
+    def requeue(self, entry: QueueEntry) -> None:
+        """Return a preempted job, keeping its original fairness position."""
+        entry.requeues += 1
+        self._entries.append(entry)
+
+    # ------------------------------------------------------------------
+    def pending(self) -> list[QueueEntry]:
+        """Queued entries in scheduling order (priority, then FIFO)."""
+        return sorted(self._entries, key=lambda e: e.sort_key)
+
+    def remove(self, job_id: str) -> QueueEntry:
+        for i, entry in enumerate(self._entries):
+            if entry.job.id == job_id:
+                return self._entries.pop(i)
+        raise KeyError(f"job {job_id!r} is not queued")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, job_id: str) -> bool:
+        return any(e.job.id == job_id for e in self._entries)

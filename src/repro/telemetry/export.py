@@ -5,7 +5,10 @@ Three views of one run's telemetry:
 - :func:`to_chrome_trace` — a ``chrome://tracing`` / Perfetto-compatible
   JSON object: one *process* per PCB, one *thread* per SoC, plus a
   ``cluster`` process for control-board work (dispatch, recovery,
-  epoch markers).  Open the written file directly in Perfetto.
+  epoch markers) and — when records carry a ``job`` label — a ``jobs``
+  process with one thread per training job, so concurrent jobs in a
+  multi-tenant schedule render on distinguishable rows.  Open the
+  written file directly in Perfetto.
 - :func:`to_jsonl` — one JSON object per trace record, in emission
   order.  Deterministic byte-for-byte for a fixed seed + fault spec.
 - :func:`render_epoch_table` / :func:`render_metrics_table` — the
@@ -26,9 +29,15 @@ __all__ = ["to_chrome_trace", "write_chrome_trace", "to_jsonl",
 _CLUSTER_PID = 0
 #: tid for records attributed to a PCB but no specific SoC (NIC lanes)
 _NIC_TID = 0
+#: pid of the per-job lane process (multi-tenant schedules); chosen far
+#: above any realistic PCB count so its sort index puts it last.
+_JOBS_PID = 1000
 
 
-def _pid_tid(record) -> tuple[int, int]:
+def _pid_tid(record, job_tids: dict) -> tuple[int, int]:
+    if record.job is not None and record.pcb is None:
+        tid = job_tids.setdefault(record.job, len(job_tids) + 1)
+        return _JOBS_PID, tid
     if record.pcb is None:
         return _CLUSTER_PID, 0
     pid = record.pcb + 1
@@ -41,13 +50,17 @@ def to_chrome_trace(tracer) -> dict:
     events: list[dict] = []
     seen_pids: dict[int, str] = {}
     seen_tids: dict[tuple[int, int], str] = {}
+    job_tids: dict[str, int] = {}
     for record in tracer.records:
-        pid, tid = _pid_tid(record)
+        pid, tid = _pid_tid(record, job_tids)
         if pid not in seen_pids:
             seen_pids[pid] = ("cluster" if pid == _CLUSTER_PID
+                              else "jobs" if pid == _JOBS_PID
                               else f"PCB {pid - 1}")
         if (pid, tid) not in seen_tids:
-            if pid == _CLUSTER_PID:
+            if pid == _JOBS_PID:
+                name = str(record.job)
+            elif pid == _CLUSTER_PID:
                 name = "scheduler"
             elif tid == _NIC_TID:
                 name = "NIC"
@@ -55,7 +68,7 @@ def to_chrome_trace(tracer) -> dict:
                 name = f"SoC {tid - 1}"
             seen_tids[(pid, tid)] = name
         args = dict(record.args)
-        for key in ("lg", "cg"):
+        for key in ("lg", "cg", "job"):
             value = getattr(record, key)
             if value is not None:
                 args[key] = value

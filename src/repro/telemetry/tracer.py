@@ -24,13 +24,14 @@ __all__ = ["SPAN_KINDS", "TraceRecord", "NullTracer", "Tracer"]
 
 #: the span/event taxonomy (DESIGN.md "Telemetry").  ``compute``,
 #: ``allreduce``, ``leader_sync``, ``nic_wait``, ``checkpoint``,
-#: ``recovery`` and ``fault`` are the paper-facing kinds; the rest
-#: cover the remaining charged phases so a trace accounts for every
-#: simulated second.
+#: ``recovery`` and ``fault`` are the paper-facing kinds; ``job``,
+#: ``queue`` and ``resize`` belong to the multi-tenant job scheduler
+#: (:mod:`repro.jobs`); the rest cover the remaining charged phases so
+#: a trace accounts for every simulated second.
 SPAN_KINDS = frozenset({
     "compute", "allreduce", "leader_sync", "nic_wait", "checkpoint",
     "recovery", "fault", "dispatch", "update", "sync", "epoch",
-    "preemption",
+    "preemption", "job", "queue", "resize",
 })
 
 
@@ -47,12 +48,13 @@ class TraceRecord:
     pcb: int | None = None
     lg: int | None = None   # logical group
     cg: int | None = None   # communication group
+    job: str | None = None  # owning training job (multi-tenant runs)
     args: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         out = {"kind": self.kind, "name": self.name, "ph": self.ph,
                "ts_s": self.ts_s, "dur_s": self.dur_s}
-        for key in ("soc", "pcb", "lg", "cg"):
+        for key in ("soc", "pcb", "lg", "cg", "job"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -95,7 +97,7 @@ class Tracer:
 
     # ------------------------------------------------------------------
     def _record(self, kind: str, ph: str, ts_s: float, dur_s: float,
-                name: str | None, soc, pcb, lg, cg, args: dict) -> None:
+                name: str | None, soc, pcb, lg, cg, job, args: dict) -> None:
         if kind not in SPAN_KINDS:
             raise ValueError(f"unknown span kind {kind!r}; "
                              f"expected one of {sorted(SPAN_KINDS)}")
@@ -106,17 +108,20 @@ class Tracer:
             pcb = self.topology.pcb_of(soc)
         self.records.append(TraceRecord(
             kind=kind, name=name or kind, ph=ph, ts_s=float(ts_s),
-            dur_s=float(dur_s), soc=soc, pcb=pcb, lg=lg, cg=cg, args=args))
+            dur_s=float(dur_s), soc=soc, pcb=pcb, lg=lg, cg=cg, job=job,
+            args=args))
 
     def span(self, kind: str, start_s: float, dur_s: float, *,
              name: str | None = None, soc: int | None = None,
              pcb: int | None = None, lg: int | None = None,
-             cg: int | None = None, **args) -> None:
+             cg: int | None = None, job: str | None = None, **args) -> None:
         """Record a complete span ``[start_s, start_s + dur_s)``."""
-        self._record(kind, "X", start_s, dur_s, name, soc, pcb, lg, cg, args)
+        self._record(kind, "X", start_s, dur_s, name, soc, pcb, lg, cg,
+                     job, args)
 
     def event(self, kind: str, ts_s: float, *, name: str | None = None,
               soc: int | None = None, pcb: int | None = None,
-              lg: int | None = None, cg: int | None = None, **args) -> None:
+              lg: int | None = None, cg: int | None = None,
+              job: str | None = None, **args) -> None:
         """Record an instant event at ``ts_s``."""
-        self._record(kind, "i", ts_s, 0.0, name, soc, pcb, lg, cg, args)
+        self._record(kind, "i", ts_s, 0.0, name, soc, pcb, lg, cg, job, args)

@@ -94,6 +94,35 @@ class TestEventDerivation:
             derive_training_events([], 0.0, 0.5, 4, 0, 16)
         with pytest.raises(ValueError):
             derive_training_events([], 0.0, 0.0, 4, 4, 16)
+        with pytest.raises(ValueError):
+            derive_training_events([], 0.0, 0.5, 4, 4, -1)
+
+    def test_zero_idle_socs_plans_nothing(self):
+        """A saturated window never plans a logical group (regression:
+        the zero-idle case must not divide by zero or emit events)."""
+        sessions = simulator().simulate_day()
+        assert derive_training_events(sessions, window_start_hour=13.0,
+                                      epoch_hours=0.5, max_epochs=8,
+                                      socs_per_group=4, idle_socs=0) == []
+
+    def test_idle_below_group_size_plans_nothing(self):
+        sessions = simulator().simulate_day()
+        assert derive_training_events(sessions, window_start_hour=13.0,
+                                      epoch_hours=0.5, max_epochs=8,
+                                      socs_per_group=4, idle_socs=3) == []
+
+
+class TestIdleSocsAt:
+    def test_complement_of_busy(self):
+        sim = simulator(socs=4)
+        sessions = [Session(1, 1.0, 2.0), Session(3, 1.5, 1.0)]
+        assert sim.idle_socs_at(sessions, 2.0) == [0, 2]
+        assert sim.idle_socs_at(sessions, 10.0) == [0, 1, 2, 3]
+
+    def test_empty_at_full_load(self):
+        sim = simulator(socs=3)
+        sessions = [Session(s, 0.0, 5.0) for s in range(3)]
+        assert sim.idle_socs_at(sessions, 1.0) == []
 
     def test_events_feed_socflow(self, quick_config):
         """End to end: derived events drive a real training run."""

@@ -1,0 +1,46 @@
+"""Fixtures for the job-scheduler tests: tiny configs, hand-built sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterTopology, Session
+from repro.distributed import RunConfig
+from repro.jobs import ElasticScheduler, TrainingJob
+
+
+@pytest.fixture(scope="session")
+def jobs_topology():
+    return ClusterTopology(num_socs=8)
+
+
+@pytest.fixture()
+def config_factory(tiny_task, jobs_topology):
+    """job -> RunConfig on the shared tiny task (fast real math)."""
+    def factory(job):
+        return RunConfig(
+            task=tiny_task, model_name="lenet5", width=1.0, batch_size=16,
+            lr=0.05, max_epochs=job.epochs, seed=job.seed,
+            topology=jobs_topology, sim_samples_per_epoch=2_000,
+            sim_global_batch=64, num_groups=2)
+    return factory
+
+
+def busy_all(topology: ClusterTopology, start: float,
+             duration: float) -> list:
+    """Sessions occupying every SoC for ``[start, start + duration)``."""
+    return [Session(s, start, duration) for s in range(topology.num_socs)]
+
+
+def make_job(job_id="job", **overrides) -> TrainingJob:
+    spec = dict(id=job_id, workload="tiny", priority=1, min_socs=2,
+                max_socs=8, epochs=2, target_group_size=2)
+    spec.update(overrides)
+    return TrainingJob(**spec)
+
+
+def make_scheduler(topology, factory, sessions=(), **kw) -> ElasticScheduler:
+    kw.setdefault("quantum_hours", 0.25)
+    kw.setdefault("horizon_hours", 6.0)
+    return ElasticScheduler(topology, list(sessions),
+                            config_factory=factory, **kw)

@@ -1,0 +1,64 @@
+"""Admission control and fairness ordering of the job queue."""
+
+import pytest
+
+from repro.cluster import ClusterTopology
+from repro.jobs import JobAdmissionError, JobQueue, TrainingJob
+
+from .conftest import make_job
+
+
+@pytest.fixture()
+def queue():
+    return JobQueue(ClusterTopology(num_socs=8),
+                    known_workloads={"tiny", "vgg11"})
+
+
+class TestAdmissionControl:
+    def test_admits_valid_job(self, queue):
+        entry = queue.submit(make_job("a"), hour=0.0)
+        assert entry.job.id == "a"
+        assert "a" in queue
+
+    def test_rejects_duplicate_id(self, queue):
+        queue.submit(make_job("a"), hour=0.0)
+        with pytest.raises(JobAdmissionError, match="duplicate"):
+            queue.submit(make_job("a"), hour=1.0)
+
+    def test_rejects_oversized_floor(self, queue):
+        with pytest.raises(JobAdmissionError, match="only has 8"):
+            queue.submit(make_job("big", min_socs=9, max_socs=16), hour=0.0)
+
+    def test_rejects_unknown_workload(self, queue):
+        with pytest.raises(JobAdmissionError, match="unknown workload"):
+            queue.submit(make_job("x", workload="gpt"), hour=0.0)
+
+    def test_unknown_workloads_allowed_without_registry(self):
+        queue = JobQueue(ClusterTopology(num_socs=8))
+        queue.submit(make_job("x", workload="anything"), hour=0.0)
+        assert len(queue) == 1
+
+
+class TestOrdering:
+    def test_priority_then_fifo(self, queue):
+        queue.submit(make_job("low", priority=1), hour=0.0)
+        queue.submit(make_job("high", priority=5), hour=1.0)
+        queue.submit(make_job("low2", priority=1), hour=0.5)
+        assert [e.job.id for e in queue.pending()] == ["high", "low", "low2"]
+
+    def test_requeue_keeps_fairness_position(self, queue):
+        first = queue.submit(make_job("first"), hour=0.0)
+        queue.submit(make_job("second"), hour=1.0)
+        queue.remove("first")
+        queue.requeue(first)          # preempted much later
+        assert [e.job.id for e in queue.pending()] == ["first", "second"]
+        assert first.requeues == 1
+
+    def test_remove_missing_raises(self, queue):
+        with pytest.raises(KeyError):
+            queue.remove("ghost")
+
+    def test_len_and_bool(self, queue):
+        assert not queue
+        queue.submit(make_job("a"), hour=0.0)
+        assert queue and len(queue) == 1

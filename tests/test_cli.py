@@ -187,6 +187,86 @@ class TestTelemetryArgs:
         assert not trace.exists()
 
 
+class TestJobsCommand:
+    SPEC = """\
+cluster:
+  socs: 8
+  seed: 0
+  peak_sessions_per_hour: 10
+jobs:
+  - id: smoke
+    workload: lenet5_fmnist
+    min_socs: 2
+    max_socs: 4
+    epochs: 1
+"""
+
+    def write_spec(self, tmp_path, text=None):
+        path = tmp_path / "jobs.yaml"
+        path.write_text(text or self.SPEC)
+        return str(path)
+
+    def test_spec_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs"])
+
+    def test_schedules_job_file(self, tmp_path):
+        code, output = run_cli(["jobs", "--spec",
+                                self.write_spec(tmp_path),
+                                "--horizon", "4"])
+        assert code == 0
+        assert "smoke" in output and "completed" in output
+        assert "idle-capacity utilisation" in output
+
+    def test_report_trace_and_metrics_files(self, tmp_path):
+        report = tmp_path / "report.json"
+        trace = tmp_path / "jobs.json"
+        metrics = tmp_path / "metrics.jsonl"
+        code, output = run_cli([
+            "jobs", "--spec", self.write_spec(tmp_path), "--horizon", "4",
+            "--report", str(report), "--trace", str(trace),
+            "--metrics", str(metrics)])
+        assert code == 0
+        import json
+        payload = json.loads(report.read_text())
+        assert payload["jobs"][0]["id"] == "smoke"
+        assert 0.0 <= payload["utilisation"] <= 1.0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("args", {}).get("job") == "smoke" for e in events)
+        assert any("jobs.completed" in line
+                   for line in metrics.read_text().splitlines())
+
+    def test_static_window_mode(self, tmp_path):
+        code, output = run_cli([
+            "jobs", "--spec", self.write_spec(tmp_path), "--horizon", "6",
+            "--static-window", "1:3"])
+        assert code == 0
+        assert "static window" in output
+
+    def test_bad_static_window_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli(["jobs", "--spec", self.write_spec(tmp_path),
+                           "--static-window", "nope"])
+        assert code == 2
+        assert "static-window" in capsys.readouterr().err
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("jobs:\n  - id: x\n    workload: vgg11\n"
+                       "    rockets: 9\n")
+        code, _ = run_cli(["jobs", "--spec", str(bad)])
+        assert code == 2
+        assert "bad job file" in capsys.readouterr().err
+
+    def test_unadmittable_job_rejected(self, tmp_path, capsys):
+        spec = ("jobs:\n  - id: giant\n    workload: lenet5_fmnist\n"
+                "    min_socs: 64\n    max_socs: 64\n")
+        code, output = run_cli(["jobs", "--spec",
+                                self.write_spec(tmp_path, spec),
+                                "--socs", "8"])
+        assert code == 1
+        assert "no jobs admitted" in capsys.readouterr().err
+
+
 class TestCompareCommand:
     def test_compare_two_methods(self):
         code, output = run_cli([
