@@ -16,6 +16,10 @@ Sections
   layout, float32 sum-then-scale) against the pre-fusion per-key
   float64 reference loop — the microbenchmark the CI regression gate
   watches.
+- ``bucketed_aggregation``: the overlap data plane's per-bucket
+  averaging against the whole-model fused path — same kernel, same
+  bytes, sliced at bucket boundaries — with a bit-equality assert at
+  every geometry.
 - ``epoch``: one end-to-end SoCFlow epoch (real math + simulated
   clock) at quick scale, sequential and with ``--workers 2``.
 
@@ -164,6 +168,37 @@ def bench_aggregation(repeats: int) -> dict:
     }
 
 
+def bench_bucketed_aggregation(repeats: int) -> dict:
+    """Per-bucket fused averaging vs the whole-model fused path.
+
+    The comm/compute-overlap data plane re-slices the same flat storage
+    at bucket boundaries; this section measures what that slicing costs
+    on the host (it should be noise: same kernel, same bytes) and
+    asserts the outputs stay bit-identical at every bucket geometry.
+    """
+    from repro.comm.buckets import BucketPlan, bucketed_average_states
+
+    flat_states, _ = _replica_states(NUM_REPLICAS)
+    layout = flat_states[0].layout
+    whole = average_states(flat_states)
+    real_bytes = 4.0 * layout.param_total
+    out: dict = {"replicas": NUM_REPLICAS}
+    for name, plan in (
+            ("one_bucket", BucketPlan.from_layout(layout)),
+            ("buckets8", BucketPlan.from_layout(
+                layout, threshold_bytes=real_bytes / 8)),
+            ("per_tensor", BucketPlan.from_layout(layout, max_ops=1))):
+        merged = bucketed_average_states(flat_states, plan)
+        assert np.array_equal(whole.flat, merged.flat), name
+        timing = _time(lambda: bucketed_average_states(flat_states, plan),
+                       repeats)
+        timing["num_buckets"] = plan.num_buckets
+        out[name] = timing
+    out["overhead_vs_whole"] = (out["per_tensor"]["median_s"]
+                                / max(out["one_bucket"]["median_s"], 1e-12))
+    return out
+
+
 # ----------------------------------------------------------------------
 def bench_epoch(repeats: int, workers: int = 1, epochs: int = 1) -> dict:
     """End-to-end SoCFlow wall time at quick scale (host seconds)."""
@@ -193,6 +228,7 @@ def run_harness(mode: str = "smoke") -> dict:
         },
         "conv": bench_conv(repeats),
         "aggregation": bench_aggregation(max(repeats, 20)),
+        "bucketed_aggregation": bench_bucketed_aggregation(max(repeats, 20)),
         "epoch": {
             "sequential": bench_epoch(1 if mode == "smoke" else repeats),
             "workers2": bench_epoch(1 if mode == "smoke" else repeats,
@@ -218,6 +254,10 @@ def main(argv=None) -> int:
     print(f"agg fused      {agg['fused']['median_s']*1e6:8.1f} us")
     print(f"agg per-key    {agg['per_key']['median_s']*1e6:8.1f} us")
     print(f"agg speedup    {agg['speedup']:8.2f}x")
+    bucketed = report["bucketed_aggregation"]
+    print(f"agg bucketed   "
+          f"{bucketed['buckets8']['median_s']*1e6:8.1f} us "
+          f"({bucketed['buckets8']['num_buckets']} buckets)")
     print(f"epoch seq      "
           f"{report['epoch']['sequential']['median_s']:8.2f} s")
     print(f"epoch w=2      {report['epoch']['workers2']['median_s']:8.2f} s")

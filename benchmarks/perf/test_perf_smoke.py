@@ -45,13 +45,26 @@ def baseline() -> dict:
 
 
 def test_report_has_all_sections(report):
-    assert set(report) >= {"mode", "host", "conv", "aggregation", "epoch"}
+    assert set(report) >= {"mode", "host", "conv", "aggregation",
+                           "bucketed_aggregation", "epoch"}
     for section in ("forward", "forward_backward"):
         assert report["conv"][section]["median_s"] > 0
     for path in ("fused", "per_key", "per_key_fallback"):
         assert report["aggregation"][path]["median_s"] > 0
     for variant in ("sequential", "workers2"):
         assert report["epoch"][variant]["median_s"] > 0
+
+
+def test_bucketed_aggregation_geometries(report):
+    """The per-bucket merge ran (bit-equality asserted inside the
+    harness) and its geometries are what the overlap plan produces."""
+    bucketed = report["bucketed_aggregation"]
+    assert bucketed["one_bucket"]["num_buckets"] == 1
+    assert bucketed["buckets8"]["num_buckets"] > 1
+    assert bucketed["per_tensor"]["num_buckets"] > \
+        bucketed["buckets8"]["num_buckets"]
+    for name in ("one_bucket", "buckets8", "per_tensor"):
+        assert bucketed[name]["median_s"] > 0
 
 
 def test_fused_aggregation_meets_absolute_target(report):

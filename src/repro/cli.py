@@ -97,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fault-injection spec (epochs = rounds)")
     jobs.add_argument("--report", default=None, metavar="PATH",
                       help="write the schedule report as JSON")
+    _add_fusion_args(jobs)
     _add_telemetry_args(jobs)
 
     sub.add_parser("list", help="show workloads, methods, presets, models")
@@ -135,7 +136,22 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                         choices=("fail-stop", "continue"),
                         help="baseline reaction to dead SoCs "
                              "(SoCFlow always recovers)")
+    _add_fusion_args(parser)
     _add_telemetry_args(parser)
+
+
+def _add_fusion_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fusion-threshold-mb", type=float, default=None,
+                        metavar="MB",
+                        help="bucketed gradient fusion: close a bucket at "
+                             "this many MiB of simulated-scale gradients "
+                             "and overlap its collective with backward "
+                             "(default: whole-model sync)")
+    parser.add_argument("--fusion-max-ops", type=_positive_int, default=None,
+                        metavar="N",
+                        help="bucketed gradient fusion: at most N tensors "
+                             "per bucket (combines with the MiB threshold; "
+                             "either knob alone enables fusion)")
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -172,7 +188,11 @@ def _train(args, method: str, fault_schedule=None, telemetry=None):
                              fault_mode=getattr(args, "fault_mode",
                                                 "fail-stop"),
                              telemetry=telemetry,
-                             workers=getattr(args, "workers", 1))
+                             workers=getattr(args, "workers", 1),
+                             fusion_threshold_mb=getattr(
+                                 args, "fusion_threshold_mb", None),
+                             fusion_max_ops=getattr(
+                                 args, "fusion_max_ops", None))
     if method == "socflow":
         return SoCFlow(SoCFlowOptions()).train(config)
     return build_strategy(method).train(config)
@@ -358,11 +378,18 @@ def cmd_jobs(args, out) -> int:
                                  seed=seed)
     sessions = simulator.simulate_day()
     telemetry = _telemetry_for(args)
+    fusion_threshold = setting(args.fusion_threshold_mb,
+                               "fusion_threshold_mb", None)
+    fusion_max_ops = setting(args.fusion_max_ops, "fusion_max_ops", None)
     scheduler = ElasticScheduler(
         topology, sessions, quantum_hours=quantum, horizon_hours=horizon,
         start_hour=start_hour, elastic=window is None, window=window,
         fault_schedule=fault_schedule, telemetry=telemetry,
-        workers=args.workers)
+        workers=args.workers,
+        fusion_threshold_mb=(None if fusion_threshold is None
+                             else float(fusion_threshold)),
+        fusion_max_ops=(None if fusion_max_ops is None
+                        else int(fusion_max_ops)))
     admitted = 0
     for job in jobs:
         try:

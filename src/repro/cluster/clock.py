@@ -19,6 +19,9 @@ class PhaseClock:
     def __init__(self):
         self.now = 0.0
         self.phase_totals: dict[str, float] = defaultdict(float)
+        #: the attributed (hidden-under-compute) share of each phase —
+        #: a subset of :attr:`phase_totals`, never part of :attr:`now`
+        self.attributed_totals: dict[str, float] = defaultdict(float)
 
     def advance(self, seconds: float, phase: str) -> None:
         if seconds < 0:
@@ -36,10 +39,15 @@ class PhaseClock:
         if seconds < 0:
             raise ValueError(f"cannot attribute negative time {seconds}")
         self.phase_totals[phase] += seconds
+        self.attributed_totals[phase] += seconds
 
     def breakdown(self) -> dict[str, float]:
         """Phase → seconds, in insertion order."""
         return dict(self.phase_totals)
+
+    def attributed_breakdown(self) -> dict[str, float]:
+        """Phase → hidden seconds (the overlapped share of the totals)."""
+        return dict(self.attributed_totals)
 
     def merge(self, other: "PhaseClock") -> None:
         """Fold another clock's elapsed time and phase totals into this
@@ -54,6 +62,8 @@ class PhaseClock:
         self.now += other.now
         for phase, seconds in other.phase_totals.items():
             self.phase_totals[phase] += seconds
+        for phase, seconds in other.attributed_totals.items():
+            self.attributed_totals[phase] += seconds
 
     def fraction(self, phase: str) -> float:
         return self.phase_totals.get(phase, 0.0) / self.now if self.now else 0.0
@@ -61,3 +71,4 @@ class PhaseClock:
     def reset(self) -> None:
         self.now = 0.0
         self.phase_totals.clear()
+        self.attributed_totals.clear()

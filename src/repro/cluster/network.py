@@ -18,12 +18,13 @@ measured 20.6 s for 32 SoCs on VGG-11.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .topology import ClusterTopology
 
-__all__ = ["Flow", "NetworkFabric"]
+__all__ = ["Flow", "NetworkFabric", "overlap_timeline"]
 
 #: pseudo SoC id for the control board (parameter-server host option)
 CONTROL_BOARD = -1
@@ -219,8 +220,19 @@ class NetworkFabric:
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
-    def _startup(self, num_participants: int) -> float:
-        return self.startup_per_soc_s * num_participants
+    def _startup(self, num_participants: int,
+                 num_tensors: float | None = None) -> float:
+        """Collective launch cost for ``num_participants``.
+
+        ``num_tensors`` overrides the per-SoC rate for one collective:
+        a gradient *bucket* fuses only a slice of the model's tensors,
+        so its launch is proportionally cheaper than a whole-model
+        collective (fractional counts are fine — the cost is linear).
+        """
+        if num_tensors is None:
+            return self.startup_per_soc_s * num_participants
+        return (STARTUP_BASE_S
+                + STARTUP_PER_TENSOR_S * num_tensors) * num_participants
 
     def pcb_ring_bytes(self, rings: Sequence[Sequence[int]],
                        nbytes: float) -> dict[int, float]:
@@ -243,23 +255,64 @@ class NetworkFabric:
                         out[pcb] = out.get(pcb, 0.0) + per_edge
         return out
 
-    def ring_allreduce_time(self, socs: Sequence[int], nbytes: float) -> float:
+    def bucketed_pcb_ring_bytes(self, rings: Sequence[Sequence[int]],
+                                bucket_bytes: Sequence[float],
+                                total_bytes: float | None = None
+                                ) -> dict[int, float]:
+        """Per-PCB NIC bytes for one ring all-reduce *per bucket*.
+
+        Guarded by the conservation invariant that caught the classic
+        double-count: summing the per-bucket loads must reproduce the
+        whole-model :meth:`pcb_ring_bytes` exactly (the payload was
+        merely sliced, not multiplied).  Raises ``AssertionError`` on
+        drift — both on the payload split and on the per-PCB totals.
+        """
+        bucket_bytes = list(bucket_bytes)
+        if total_bytes is None:
+            total_bytes = sum(bucket_bytes)
+        elif not math.isclose(sum(bucket_bytes), total_bytes,
+                              rel_tol=1e-9, abs_tol=1e-6):
+            raise AssertionError(
+                f"bucket payloads sum to {sum(bucket_bytes)!r} bytes, "
+                f"whole model is {total_bytes!r}: bucket split lost or "
+                "duplicated gradient bytes")
+        out: dict[int, float] = {}
+        for nbytes in bucket_bytes:
+            for pcb, load in self.pcb_ring_bytes(rings, nbytes).items():
+                out[pcb] = out.get(pcb, 0.0) + load
+        whole = self.pcb_ring_bytes(rings, total_bytes)
+        if set(out) != set(whole) or any(
+                not math.isclose(out[pcb], whole[pcb],
+                                 rel_tol=1e-9, abs_tol=1e-6)
+                for pcb in whole):
+            raise AssertionError(
+                f"bucketed NIC accounting drifted: per-bucket sum {out!r} "
+                f"!= whole-model {whole!r}")
+        return out
+
+    def ring_allreduce_time(self, socs: Sequence[int], nbytes: float,
+                            num_tensors: float | None = None) -> float:
         """One ring all-reduce over ``socs`` of an ``nbytes`` payload."""
-        return self.concurrent_ring_allreduce_time([list(socs)], nbytes)
+        return self.concurrent_ring_allreduce_time([list(socs)], nbytes,
+                                                   num_tensors=num_tensors)
 
     def concurrent_ring_allreduce_time(self, rings: Sequence[Sequence[int]],
-                                       nbytes: float) -> float:
+                                       nbytes: float,
+                                       num_tensors: float | None = None
+                                       ) -> float:
         """Several ring all-reduces running at the same time.
 
         Every ring executes its 2(n-1) scatter-reduce/all-gather phases in
         lock-step; phases of different rings overlap and contend for
-        shared links.  Returns the makespan.
+        shared links.  Returns the makespan.  ``num_tensors`` prices the
+        startup of a partial (bucketed) collective.
         """
         rings = [list(r) for r in rings if len(r) >= 2]
         if not rings:
-            return self._startup(1)
+            return self._startup(1, num_tensors=num_tensors)
         phases = [2 * (len(ring) - 1) for ring in rings]
-        total = max(self._startup(len(ring)) for ring in rings)
+        total = max(self._startup(len(ring), num_tensors=num_tensors)
+                    for ring in rings)
         for step in range(max(phases)):
             flows = [
                 Flow(ring[i], ring[(i + 1) % len(ring)], nbytes / len(ring))
@@ -271,7 +324,8 @@ class NetworkFabric:
         return total
 
     def parameter_server_time(self, socs: Sequence[int], nbytes: float,
-                              server: int | None = None) -> float:
+                              server: int | None = None,
+                              num_tensors: float | None = None) -> float:
         """Push-then-pull through a central server.
 
         ``server=None`` hosts the server on the first SoC (the deployment
@@ -283,10 +337,10 @@ class NetworkFabric:
             server = socs[0]
         workers = [s for s in socs if s != server]
         if not workers:
-            return self._startup(1)
+            return self._startup(1, num_tensors=num_tensors)
         push = self.transfer_time([Flow(w, server, nbytes) for w in workers])
         pull = self.transfer_time([Flow(server, w, nbytes) for w in workers])
-        return self._startup(len(socs)) + push + pull
+        return self._startup(len(socs), num_tensors=num_tensors) + push + pull
 
     def tree_aggregate_time(self, groups: Sequence[Sequence[int]],
                             nbytes: float,
@@ -323,3 +377,30 @@ class NetworkFabric:
         """One-to-many transfer (model/data dispatch before training)."""
         return self.transfer_time([Flow(src, d, nbytes) for d in dsts
                                    if d != src])
+
+
+def overlap_timeline(compute_s: float, ready_times: Sequence[float],
+                     durations: Sequence[float]
+                     ) -> tuple[list[tuple[float, float]], float]:
+    """Schedule bucket collectives against one compute window.
+
+    Bucket *i*'s gradients exist at ``ready_times[i]`` (seconds into
+    the window); its collective occupies the shared NIC path for
+    ``durations[i]`` seconds.  Collectives serialise on that path in
+    emission order — each starts at ``max(ready, previous end)`` — the
+    same greedy schedule Horovod's cycle loop and DDP's bucket queue
+    produce.  Returns the per-bucket ``(start, end)`` schedule and the
+    *visible* sync time: how far the last collective runs past the end
+    of the compute window (0 when communication hides entirely).
+    """
+    if len(ready_times) != len(durations):
+        raise ValueError("one duration per ready time required")
+    schedule: list[tuple[float, float]] = []
+    cursor = 0.0
+    for ready, duration in zip(ready_times, durations):
+        if duration < 0 or ready < 0:
+            raise ValueError("ready times and durations must be >= 0")
+        start = max(ready, cursor)
+        cursor = start + duration
+        schedule.append((start, cursor))
+    return schedule, max(0.0, cursor - compute_s)

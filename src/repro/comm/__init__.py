@@ -9,7 +9,10 @@ from .primitives import (RetryPolicy, average_states,
                          weighted_average_states, state_l2_distance,
                          zeros_like_state)
 from .compression import DgcCompressor, SparseGradient
+from .buckets import (BACKWARD_START_FRACTION, BucketPlan, GradientBucket,
+                      bucketed_average_states)
 
 __all__ = ["RetryPolicy", "average_states", "weighted_average_states",
            "state_l2_distance", "zeros_like_state", "DgcCompressor",
-           "SparseGradient"]
+           "SparseGradient", "BucketPlan", "GradientBucket",
+           "bucketed_average_states", "BACKWARD_START_FRACTION"]

@@ -81,7 +81,8 @@ _AVG_BLOCK = 1 << 16
 
 
 def _average_arrays_f32(arrays: Sequence[np.ndarray],
-                        scales: Sequence[np.float32]) -> np.ndarray:
+                        scales: Sequence[np.float32],
+                        out: np.ndarray | None = None) -> np.ndarray:
     """Weighted sum of float32 arrays — the one true op sequence.
 
     Both the fused whole-model path and the per-key fallback funnel
@@ -94,10 +95,18 @@ def _average_arrays_f32(arrays: Sequence[np.ndarray],
     *fewer* per element than scale-then-sum).  Non-uniform weights
     scale each term first, reusing one scratch buffer.  Either way the
     kernel walks the storage in L2-sized blocks.
+
+    ``out`` optionally receives the result (bucketed aggregation writes
+    each segment into one preallocated whole-model buffer); same-shape
+    float32, returned for convenience.
     """
     if len(arrays) == 1:
-        return arrays[0] * scales[0]
-    out = np.empty_like(arrays[0])
+        if out is None:
+            return arrays[0] * scales[0]
+        np.multiply(arrays[0].reshape(-1), scales[0], out=out.reshape(-1))
+        return out
+    if out is None:
+        out = np.empty_like(arrays[0])
     flat_out = out.reshape(-1)
     flats = [arr.reshape(-1) for arr in arrays]
     uniform = all(s == scales[0] for s in scales[1:])

@@ -79,20 +79,27 @@ class CommunicationPlan:
     def num_cgs(self) -> int:
         return len(self.cgs)
 
-    def planned_sync_seconds(self, fabric: NetworkFabric,
-                             nbytes: float) -> list[float]:
-        """Per-CG ring all-reduce times, run in sequence (no contention)."""
+    def planned_sync_seconds(self, fabric: NetworkFabric, nbytes: float,
+                             num_tensors: float | None = None) -> list[float]:
+        """Per-CG ring all-reduce times, run in sequence (no contention).
+
+        ``num_tensors`` prices the schedule for one gradient *bucket*
+        (bucketed fusion interleaves the pipelined CGs at bucket
+        granularity: every bucket runs the full CG sequence on its own
+        slice of the payload).
+        """
         times: list[float] = []
         for cg in self.cgs:
             rings = [self.mapping.groups[g] for g in cg]
-            times.append(fabric.concurrent_ring_allreduce_time(rings, nbytes))
+            times.append(fabric.concurrent_ring_allreduce_time(
+                rings, nbytes, num_tensors=num_tensors))
         return times
 
-    def unplanned_sync_seconds(self, fabric: NetworkFabric,
-                               nbytes: float) -> float:
+    def unplanned_sync_seconds(self, fabric: NetworkFabric, nbytes: float,
+                               num_tensors: float | None = None) -> float:
         """All rings at once (what happens without planning)."""
-        return fabric.concurrent_ring_allreduce_time(self.mapping.groups,
-                                                     nbytes)
+        return fabric.concurrent_ring_allreduce_time(
+            self.mapping.groups, nbytes, num_tensors=num_tensors)
 
     def step_sync_seconds(self, fabric: NetworkFabric, nbytes: float,
                           compute_seconds: float,

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..cluster.clock import PhaseClock
-from ..comm.primitives import average_states
+from ..comm.buckets import bucketed_average_states
 from ..distributed.base import (CostModel, RunConfig, Strategy,
                                 StrategyResult, evaluate_accuracy)
 from ..quant.int8 import QuantConfig
@@ -209,6 +209,7 @@ class SoCFlow(Strategy):
             for epoch in range(start_epoch, config.max_epochs):
                 epoch_t0 = cost.clock.now
                 epoch_phases0 = cost.clock.breakdown()
+                epoch_hidden0 = cost.clock.attributed_breakdown()
                 scheduler.apply_underclocks(epoch)
                 dead = scheduler.apply_faults(epoch, cost.fabric)
                 if dead != current_dead:
@@ -234,8 +235,10 @@ class SoCFlow(Strategy):
                 active_plan = CommunicationPlan.from_mapping(active_mapping)
 
                 self._run_real_epoch(config, active, epoch, rng, executor)
+                layout = active[0].fp32.flatten_parameters().layout
                 self._charge_epoch(config, cost, active_mapping, active_plan,
-                                   controller, scheduler, mixed, epoch)
+                                   controller, scheduler, mixed, epoch,
+                                   layout=layout)
 
                 if epoch == 0:
                     # The group-size heuristic profiles *pre-merge* accuracy
@@ -243,8 +246,12 @@ class SoCFlow(Strategy):
                     state["first_epoch_group_accuracy"] = evaluate_accuracy(
                         active[0].fp32, config.task.x_test, config.task.y_test)
 
-                merged = average_states([g.state_dict() for g in active],
-                                        metrics=telemetry.metrics)
+                # Host data plane mirrors the fusion plan: the same
+                # bucket boundaries aggregate the real weights, bit-
+                # identically to the whole-model fused path.
+                merged = bucketed_average_states(
+                    [g.state_dict() for g in active],
+                    cost.bucket_plan(layout), metrics=telemetry.metrics)
                 for group in active:
                     group.load_state(merged)
                 last_good = (merged, epoch)
@@ -264,7 +271,7 @@ class SoCFlow(Strategy):
                     self._record_epoch_telemetry(
                         telemetry, cost, epoch, epoch_t0, epoch_phases0,
                         accuracy, controller if mixed else None,
-                        active_mapping)
+                        active_mapping, hidden0=epoch_hidden0)
 
         finally:
             if executor is not None:
@@ -377,8 +384,14 @@ class SoCFlow(Strategy):
                       mapping: MappingResult, plan: CommunicationPlan,
                       controller: MixedPrecisionController,
                       scheduler: GlobalScheduler, mixed: bool,
-                      epoch: int = 0) -> None:
-        """Advance the simulated clock for one full-scale epoch."""
+                      epoch: int = 0, layout=None) -> None:
+        """Advance the simulated clock for one full-scale epoch.
+
+        ``layout`` is the groups' shared flat parameter layout; with
+        bucketed fusion enabled it drives the per-bucket sync timeline
+        (each bucket runs the full CG schedule on its payload slice,
+        overlapping the backward pass of the step that produced it).
+        """
         options = self.options
         telemetry = cost.telemetry
         n = mapping.num_groups
@@ -404,22 +417,46 @@ class SoCFlow(Strategy):
 
         from ..distributed.base import OVERLAP_FRACTION
         payload = cost.grad_bytes
-        cg_times: list[float] | None = None
-        if mapping.num_groups == 1:
-            raw = cost.fabric.ring_allreduce_time(mapping.groups[0], payload)
-            hidden = min(raw, OVERLAP_FRACTION * compute_s)
-            cg_times = [raw]
-        elif options.planning:
+
+        def branch_sync(nbytes: float, num_tensors: "float | None" = None):
+            """(raw, cg_times) of one sync at ``nbytes`` payload."""
+            if mapping.num_groups == 1:
+                t = cost.fabric.ring_allreduce_time(
+                    mapping.groups[0], nbytes, num_tensors=num_tensors)
+                return t, [t]
+            if options.planning:
+                times = plan.planned_sync_seconds(cost.fabric, nbytes,
+                                                  num_tensors=num_tensors)
+                return sum(times), times
+            return plan.unplanned_sync_seconds(
+                cost.fabric, nbytes, num_tensors=num_tensors), None
+
+        raw, cg_times = branch_sync(payload)
+        if mapping.num_groups > 1 and options.planning:
             # Figure 7: the planned CG schedule interleaves each CG's sync
             # with the other CG's compute, hiding up to a full compute
             # window of synchronisation.
-            cg_times = plan.planned_sync_seconds(cost.fabric, payload)
-            raw = sum(cg_times)
             hidden = min(raw, compute_s)
         else:
-            raw = plan.unplanned_sync_seconds(cost.fabric, payload)
             hidden = min(raw, OVERLAP_FRACTION * compute_s)
-        sync_s = raw - hidden
+
+        bucket_plan = cost.bucket_plan(layout)
+        bucket_schedule = None
+        if bucket_plan is not None:
+            # Bucket granularity: every gradient bucket runs the full CG
+            # sequence on its slice of the payload, starting as soon as
+            # backward emits it; the overlap timeline then decides how
+            # much of the epoch's sync hides under compute.
+            bucket_times = [
+                branch_sync(b_bytes, num_tensors=b_tensors)[0]
+                for b_bytes, b_tensors in zip(
+                    bucket_plan.sim_bytes(payload),
+                    bucket_plan.sim_tensors(cost.profile.num_tensors))]
+            sync_s, hidden, bucket_schedule = cost.overlapped_sync(
+                compute_s, bucket_plan, bucket_times, raw, hidden)
+            raw = sync_s + hidden
+        else:
+            sync_s = raw - hidden
 
         update_s = cost.update_seconds()
         # All N groups step in parallel: one parallel step consumes
@@ -441,7 +478,8 @@ class SoCFlow(Strategy):
         if telemetry.tracer.enabled:
             self._emit_step_spans(telemetry.tracer, mapping, plan, t0, steps,
                                   compute_s, sync_s, hidden, update_s, raw,
-                                  cg_times, slowdown, cpu_n, npu_n)
+                                  cg_times, slowdown, cpu_n, npu_n,
+                                  bucket_schedule=bucket_schedule)
 
         # Epoch tail: one unhidden intra-group sync + the leader ring
         # (delayed aggregation) — "the extra delay of SoCFlow is only one
@@ -459,8 +497,15 @@ class SoCFlow(Strategy):
         if telemetry.metrics.enabled:
             metrics = telemetry.metrics
             # Exact NIC accounting: `steps` in-epoch intra-group syncs,
-            # one tail sync, one leader ring.
-            intra = cost.fabric.pcb_ring_bytes(mapping.groups, payload)
+            # one tail sync, one leader ring.  Bucketed syncs go through
+            # the conservation-checked path: the per-bucket loads must
+            # sum to the whole-model loads or the fabric raises.
+            if bucket_plan is not None:
+                intra = cost.fabric.bucketed_pcb_ring_bytes(
+                    mapping.groups, bucket_plan.sim_bytes(payload),
+                    total_bytes=payload)
+            else:
+                intra = cost.fabric.pcb_ring_bytes(mapping.groups, payload)
             for pcb, nbytes in sorted(intra.items()):
                 metrics.counter("nic.bytes", pcb=pcb).inc(
                     (steps + 1) * nbytes)
@@ -480,7 +525,8 @@ class SoCFlow(Strategy):
                          compute_s: float, sync_s: float, hidden: float,
                          update_s: float, raw: float,
                          cg_times: "list[float] | None", slowdown: float,
-                         cpu_n: float, npu_n: float) -> None:
+                         cpu_n: float, npu_n: float,
+                         bucket_schedule=None) -> None:
         """Spans for the in-epoch step windows, per SoC with LG/CG tags.
 
         The epoch's ``steps`` identical step windows are drawn as one
@@ -488,7 +534,10 @@ class SoCFlow(Strategy):
         CG schedule lays each CG's visible share out sequentially, the
         unplanned fallback draws every ring concurrently.  ``args``
         carry the raw (pre-hiding) and hidden seconds so the trace
-        accounts for overlapped communication too.
+        accounts for overlapped communication too.  With bucketed
+        fusion, each bucket's collective additionally gets its own span
+        (scaled by ``steps``, like the windows it rides in), whose
+        ``hidden_s`` arg is the share that ran under backward.
         """
         compute_end = t0 + steps * compute_s
         for lg, socs in enumerate(mapping.groups):
@@ -496,6 +545,12 @@ class SoCFlow(Strategy):
                 tracer.span("compute", t0, steps * compute_s, soc=soc,
                             lg=lg, steps=steps, slowdown=slowdown,
                             cpu_samples=cpu_n, npu_samples=npu_n)
+        if bucket_schedule:
+            for index, (start, end) in enumerate(bucket_schedule):
+                tracer.span(
+                    "bucket_sync", t0 + steps * start, steps * (end - start),
+                    bucket=index, steps=steps,
+                    hidden_s=steps * max(0.0, min(end, compute_s) - start))
         visible = steps * sync_s
         if cg_times is not None:
             cursor = compute_end
@@ -544,17 +599,22 @@ class SoCFlow(Strategy):
     @staticmethod
     def _record_epoch_telemetry(telemetry, cost: CostModel, epoch: int,
                                 epoch_t0: float, phases0: dict,
-                                accuracy: float, controller, mapping) -> None:
+                                accuracy: float, controller, mapping,
+                                hidden0: dict | None = None) -> None:
         """Per-epoch report row, epoch span, and epoch-level metrics."""
         phases1 = cost.clock.breakdown()
         delta = {phase: phases1.get(phase, 0.0) - phases0.get(phase, 0.0)
                  for phase in phases1}
         seconds = cost.clock.now - epoch_t0
         alpha = controller.alpha if controller is not None else None
+        hidden1 = cost.clock.attributed_breakdown()
+        hidden_s = (hidden1.get("sync", 0.0)
+                    - (hidden0 or {}).get("sync", 0.0))
         telemetry.record_epoch(
             epoch=epoch, seconds=seconds,
             compute_s=delta.get("compute", 0.0),
             sync_s=delta.get("sync", 0.0),
+            hidden_s=hidden_s,
             update_s=delta.get("update", 0.0),
             recovery_s=delta.get("recovery") or None,
             accuracy=accuracy, alpha=alpha,

@@ -87,13 +87,31 @@ class RunConfig:
     #: and always recovers (rollback + group re-formation).
     fault_mode: str = "fail-stop"
 
+    #: bucketed gradient fusion (DynaComm-style comm/compute overlap):
+    #: close a bucket once it holds this many *simulated-scale* MiB of
+    #: gradients…
+    fusion_threshold_mb: float | None = None
+    #: …or this many fused tensors, whichever comes first.  Both unset
+    #: = whole-model sync (the pre-fusion behaviour, bit-for-bit).
+    fusion_max_ops: int | None = None
+
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.fault_mode not in ("fail-stop", "continue"):
             raise ValueError("fault_mode must be 'fail-stop' or 'continue'")
+        if (self.fusion_threshold_mb is not None
+                and self.fusion_threshold_mb <= 0):
+            raise ValueError("fusion_threshold_mb must be positive")
+        if self.fusion_max_ops is not None and self.fusion_max_ops < 1:
+            raise ValueError("fusion_max_ops must be >= 1")
         if self.fault_schedule is not None:
             self.fault_schedule.validate_for(self.topology)
+
+    @property
+    def fusion_enabled(self) -> bool:
+        return (self.fusion_threshold_mb is not None
+                or self.fusion_max_ops is not None)
 
     def model_kwargs(self, seed_offset: int = 0) -> dict:
         channels, size, _ = (self.task.input_shape[0],
@@ -178,6 +196,9 @@ class CostModel:
             self.t_npu_sample = self.profile.flops_per_sample / soc.npu.flops
         self.energy = EnergyModel(soc)
         self.clock = PhaseClock()
+        #: interned FlatLayout id -> BucketPlan (layouts are interned,
+        #: so identity is a stable cache key for the run's lifetime)
+        self._bucket_plans: dict[int, "object"] = {}
         if self.telemetry.enabled:
             self.telemetry.attach(clock=self.clock, topology=self.topology)
 
@@ -190,6 +211,64 @@ class CostModel:
     @property
     def grad_bytes(self) -> float:
         return float(self.profile.payload_bytes("fp32"))
+
+    # -- bucketed gradient fusion ---------------------------------------
+    def bucket_plan(self, layout) -> "BucketPlan | None":
+        """The run's :class:`~repro.comm.buckets.BucketPlan` for a model
+        layout, or ``None`` when fusion is off (or there is no layout).
+
+        The MB threshold applies at *simulated* scale: buckets close on
+        their share of the paper-scale gradient payload
+        (:attr:`grad_bytes`), not the reduced-width real model's bytes,
+        so ``--fusion-threshold-mb 25`` means the same thing it would on
+        the physical cluster.
+        """
+        if layout is None or not self.config.fusion_enabled:
+            return None
+        plan = self._bucket_plans.get(id(layout))
+        if plan is None:
+            from ..comm.buckets import BucketPlan
+            threshold = self.config.fusion_threshold_mb
+            plan = BucketPlan.from_layout(
+                layout,
+                threshold_bytes=(None if threshold is None
+                                 else threshold * 1024 * 1024),
+                max_ops=self.config.fusion_max_ops,
+                total_bytes=self.grad_bytes)
+            self._bucket_plans[id(layout)] = plan
+        return plan
+
+    def overlapped_sync(self, compute_s: float, plan,
+                        bucket_times: "Sequence[float]",
+                        whole_raw: float, baseline_hidden: float
+                        ) -> tuple[float, float, list[tuple[float, float]]]:
+        """Price one step's sync as per-bucket collectives overlapping
+        backward.
+
+        ``bucket_times[i]`` is bucket *i*'s collective duration (in the
+        plan's emission order); ``whole_raw``/``baseline_hidden`` are
+        what the sequential whole-model path would have charged.
+        Returns ``(visible, hidden, schedule)`` where ``visible`` is
+        the wall-clock sync seconds past the compute window and
+        ``hidden`` the network-busy share overlapped under compute
+        (``visible + hidden`` = total network-busy time).
+
+        Adaptive fusion: per-bucket collectives pay extra startup and
+        per-phase hop latency, so a plan can *lose* to whole-model sync
+        on shallow-compute steps.  A real runtime would fall back to
+        coarser fusion, so the visible time is clamped at the
+        sequential path's — bucketing never makes a step slower, and a
+        1-bucket plan reproduces the sequential charge exactly (the
+        returned visible time is the *same float expression* the
+        unbucketed path advances, never a re-rounding of it).
+        """
+        from ..cluster.network import overlap_timeline
+        ready = [fraction * compute_s for fraction in plan.ready_fractions()]
+        schedule, visible = overlap_timeline(compute_s, ready, bucket_times)
+        sequential_visible = max(0.0, whole_raw - baseline_hidden)
+        visible = min(visible, sequential_visible)
+        raw = sum(bucket_times)
+        return visible, max(0.0, raw - visible), schedule
 
     # -- per-phase charging ---------------------------------------------
     def compute_seconds(self, samples_per_soc: float,
@@ -205,22 +284,39 @@ class CostModel:
 
     def charge_step(self, compute_s: float, sync_s: float,
                     num_socs: int, cpu_fraction: float = 1.0,
-                    overlap: bool = True) -> None:
+                    overlap: bool = True, hidden_s: float | None = None,
+                    bucket_schedule: "list[tuple[float, float]] | None" = None
+                    ) -> None:
         """Advance the clock by one training step.
 
         ``sync_s`` is reduced by the computing/communication overlap
         optimisation when ``overlap`` (all strategies get it, §4.1).
+        With ``hidden_s`` the caller has already split the sync time:
+        ``sync_s`` is the *visible* share to advance the wall clock by
+        and ``hidden_s`` the share overlapped under compute (attributed
+        as busy network time only) — bucketed fusion computes the split
+        from its overlap timeline.  ``bucket_schedule`` optionally
+        carries the per-bucket ``(start, end)`` offsets for span
+        attribution.
         """
-        hidden = 0.0
-        if overlap:
+        if hidden_s is not None:
+            hidden = hidden_s
+        elif overlap:
             hidden = min(sync_s, OVERLAP_FRACTION * compute_s)
             sync_s -= hidden
+        else:
+            hidden = 0.0
         update_s = self.update_seconds()
         tracer = self.telemetry.tracer
         if tracer.enabled:
             t0 = self.clock.now
             tracer.span("compute", t0, compute_s, num_socs=num_socs,
                         cpu_fraction=cpu_fraction)
+            if bucket_schedule:
+                for index, (start, end) in enumerate(bucket_schedule):
+                    tracer.span("bucket_sync", t0 + start, end - start,
+                                bucket=index, num_socs=num_socs,
+                                hidden_s=max(0.0, min(end, compute_s) - start))
             if sync_s > 0 or hidden > 0:
                 tracer.span("sync", t0 + compute_s, sync_s,
                             hidden_s=hidden, num_socs=num_socs)
@@ -337,6 +433,11 @@ class Strategy(abc.ABC):
         # along).
         extra.setdefault("network_retries", cost.fabric.total_retries)
         extra.setdefault("degraded_pcbs", cost.fabric.degraded_pcbs)
+        # Comm/compute overlap observability: how much of the sync phase
+        # was hidden under compute (the Figure 12 breakdown counts it as
+        # busy network time, but it never advanced the wall clock).
+        extra.setdefault("sync_hidden_s",
+                         cost.clock.attributed_breakdown().get("sync", 0.0))
         metrics = cost.telemetry.metrics
         if metrics.enabled:
             for phase, seconds in cost.clock.breakdown().items():

@@ -17,6 +17,10 @@ __all__ = ["ParameterServer"]
 class ParameterServer(SsgdStrategy):
     name = "ps"
 
-    def step_sync_seconds(self, cost: CostModel) -> float:
+    def step_sync_seconds(self, cost: CostModel,
+                          nbytes: float | None = None,
+                          num_tensors: float | None = None) -> float:
         socs = list(range(cost.topology.num_socs))
-        return cost.fabric.parameter_server_time(socs, cost.grad_bytes)
+        payload = cost.grad_bytes if nbytes is None else nbytes
+        return cost.fabric.parameter_server_time(socs, payload,
+                                                 num_tensors=num_tensors)

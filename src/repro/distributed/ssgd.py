@@ -24,8 +24,16 @@ class SsgdStrategy(Strategy):
     name = "ssgd"
 
     # -- hooks ------------------------------------------------------------
-    def step_sync_seconds(self, cost: CostModel) -> float:
-        """Simulated synchronisation time of one training step."""
+    def step_sync_seconds(self, cost: CostModel,
+                          nbytes: float | None = None,
+                          num_tensors: float | None = None) -> float:
+        """Simulated synchronisation time of one training step.
+
+        With ``nbytes``/``num_tensors`` set, price the same collective
+        for one gradient *bucket* (a slice of the payload and of the
+        launch cost) instead of the whole model — bucketed fusion calls
+        the hook once per bucket.
+        """
         raise NotImplementedError
 
     def step_compute_seconds(self, cost: CostModel,
@@ -44,20 +52,46 @@ class SsgdStrategy(Strategy):
     def on_epoch_begin(self, epoch: int) -> None:
         """Hook for per-epoch schedules (HiPress's DGC warm-up)."""
 
+    # -- bucketed fusion ---------------------------------------------------
+    def bucketed_step_sync(self, cost: CostModel, layout, compute_s: float,
+                           whole_sync_s: float):
+        """Price one step's sync under bucketed gradient fusion.
+
+        Returns ``(sync_s, hidden_s, schedule)``; with fusion off (or no
+        flat layout) ``hidden_s`` is ``None`` and the caller falls back
+        to the generic :data:`~repro.distributed.base.OVERLAP_FRACTION`
+        rule, bit-identically to the pre-fusion code path.
+        """
+        plan = cost.bucket_plan(layout)
+        if plan is None:
+            return whole_sync_s, None, None
+        bucket_times = [
+            self.step_sync_seconds(cost, nbytes=nbytes, num_tensors=tensors)
+            for nbytes, tensors in zip(plan.sim_bytes(cost.grad_bytes),
+                                       plan.sim_tensors(
+                                           cost.profile.num_tensors))]
+        from .base import OVERLAP_FRACTION
+        baseline_hidden = min(whole_sync_s, OVERLAP_FRACTION * compute_s)
+        return cost.overlapped_sync(compute_s, plan, bucket_times,
+                                    whole_sync_s, baseline_hidden)
+
     # -- main loop ---------------------------------------------------------
     def train(self, config: RunConfig) -> StrategyResult:
         cost = CostModel(config, telemetry=config.telemetry)
         model = make_model(config)
+        flat = model.flatten_parameters()
         optimizer = SGD(model.parameters(), lr=config.lr,
                         momentum=config.momentum,
                         weight_decay=config.weight_decay,
-                        flat=model.flatten_parameters())
+                        flat=flat)
         loader = DataLoader(
             ArrayDataset(config.task.x_train, config.task.y_train),
             config.batch_size, shuffle=True, seed=config.seed)
 
+        layout = flat.layout
         compute_s = self.step_compute_seconds(cost)
-        sync_s = self.step_sync_seconds(cost)
+        sync_s, hidden_s, schedule = self.bucketed_step_sync(
+            cost, layout, compute_s, self.step_sync_seconds(cost))
         history: list[float] = []
         state: dict = {}
         extra: dict = {}
@@ -74,7 +108,8 @@ class SsgdStrategy(Strategy):
                 # continue-with-survivors: the same global batch spreads
                 # over fewer chips and syncs over possibly degraded links.
                 compute_s = self.step_compute_seconds(cost, num_socs)
-                sync_s = self.step_sync_seconds(cost)
+                sync_s, hidden_s, schedule = self.bucketed_step_sync(
+                    cost, layout, compute_s, self.step_sync_seconds(cost))
             self.on_epoch_begin(epoch)
             for x, y in loader:
                 if self._uses_gradient_hook():
@@ -82,7 +117,9 @@ class SsgdStrategy(Strategy):
                 else:
                     fp32_train_step(model, optimizer, x, y)
             for _ in range(cost.steps_per_epoch):
-                cost.charge_step(compute_s, sync_s, num_socs)
+                cost.charge_step(compute_s, sync_s, num_socs,
+                                 hidden_s=hidden_s,
+                                 bucket_schedule=schedule)
             epoch_sync = self.extra_epoch_sync_seconds(cost)
             if epoch_sync:
                 cost.charge_epoch_sync(epoch_sync, num_socs)

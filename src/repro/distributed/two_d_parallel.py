@@ -34,7 +34,10 @@ class TwoDParallel(SsgdStrategy):
         size = m // n
         return [list(range(g * size, (g + 1) * size)) for g in range(n)]
 
-    def step_compute_seconds(self, cost: CostModel) -> float:
+    def step_compute_seconds(self, cost: CostModel,
+                             num_socs: int | None = None) -> float:
+        # 2D keeps its full pipeline layout regardless of survivor count
+        # (``num_socs`` accepted for the shared fault-path signature).
         groups = self._groups(cost)
         group_size = len(groups[0])
         group_batch = cost.config.sim_global_batch / len(groups)
@@ -48,7 +51,9 @@ class TwoDParallel(SsgdStrategy):
         act_seconds = 8.0 * act_bytes / cost.topology.soc.nic_bps
         return ideal * bubble + act_seconds
 
-    def step_sync_seconds(self, cost: CostModel) -> float:
+    def step_sync_seconds(self, cost: CostModel,
+                          nbytes: float | None = None,
+                          num_tensors: float | None = None) -> float:
         groups = self._groups(cost)
         group_size = len(groups[0])
         if len(groups) < 2:
@@ -57,5 +62,6 @@ class TwoDParallel(SsgdStrategy):
         # owning stage s form one ring.  All G rings run at once.
         rings = [[group[stage] for group in groups]
                  for stage in range(group_size)]
+        payload = cost.grad_bytes if nbytes is None else nbytes
         return cost.fabric.concurrent_ring_allreduce_time(
-            rings, cost.grad_bytes / group_size)
+            rings, payload / group_size, num_tensors=num_tensors)

@@ -95,7 +95,9 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
                     target_accuracy: float | None = None,
                     fault_schedule=None,
                     fault_mode: str = "fail-stop",
-                    telemetry=None, workers: int = 1) -> RunConfig:
+                    telemetry=None, workers: int = 1,
+                    fusion_threshold_mb: float | None = None,
+                    fusion_max_ops: int | None = None) -> RunConfig:
     """Build the RunConfig for one workload at one scale."""
     workload = WORKLOADS[workload_key]
     preset = SCALE_PRESETS[preset_name]
@@ -119,6 +121,8 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
         fault_schedule=fault_schedule,
         fault_mode=fault_mode,
         telemetry=telemetry,
+        fusion_threshold_mb=fusion_threshold_mb,
+        fusion_max_ops=fusion_max_ops,
     )
     if workload.transfer_from is not None:
         config = pretrain_for_transfer(config, workload, preset, seed)

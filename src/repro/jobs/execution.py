@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..comm.primitives import average_states
+from ..comm.buckets import bucketed_average_states
 from ..core.grouping import allocation_group_count
 from ..core.mapping import MappingResult, integrity_greedy_mapping
 from ..core.mixed_precision import GroupMixedTrainer
@@ -251,7 +251,9 @@ class JobExecution:
                 for group, shard in zip(groups, shards):
                     idx = shard[step * group_batch:(step + 1) * group_batch]
                     group.train_batch(task.x_train[idx], task.y_train[idx])
-        merged = average_states([g.state_dict() for g in groups])
+        merged = bucketed_average_states(
+            [g.state_dict() for g in groups],
+            self.cost.bucket_plan(groups[0].fp32.flatten_parameters().layout))
         for group in groups:
             group.load_state(merged)
         if self.job.mixed:
@@ -293,7 +295,22 @@ class JobExecution:
         raw = sum(cg_times)
         hidden = min(raw, compute_s if n > 1
                      else OVERLAP_FRACTION * compute_s)
-        sync_s = raw - hidden
+        bucket_plan = cost.bucket_plan(
+            self._groups[0].fp32.flatten_parameters().layout)
+        if bucket_plan is not None:
+            # Bucket-granular CG pipelining, same as SoCFlow's epoch
+            # charge: each bucket runs the CG sequence on its payload
+            # slice as backward emits it.
+            bucket_times = [
+                sum(plan.planned_sync_seconds(cost.fabric, b_bytes,
+                                              num_tensors=b_tensors))
+                for b_bytes, b_tensors in zip(
+                    bucket_plan.sim_bytes(payload),
+                    bucket_plan.sim_tensors(cost.profile.num_tensors))]
+            sync_s, hidden, _ = cost.overlapped_sync(
+                compute_s, bucket_plan, bucket_times, raw, hidden)
+        else:
+            sync_s = raw - hidden
         update_s = cost.update_seconds()
         steps = max(1, -(-config.sim_samples_per_epoch
                          // (n * config.sim_global_batch)))

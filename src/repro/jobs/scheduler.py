@@ -143,7 +143,9 @@ class ElasticScheduler:
                  window: "tuple[float, float] | None" = None,
                  fault_schedule=None, telemetry: Telemetry | None = None,
                  workers: int = 1, config_factory=None,
-                 known_workloads: "set[str] | None" = None):
+                 known_workloads: "set[str] | None" = None,
+                 fusion_threshold_mb: float | None = None,
+                 fusion_max_ops: int | None = None):
         if quantum_hours <= 0:
             raise ValueError("quantum_hours must be positive")
         if horizon_hours <= 0:
@@ -160,6 +162,8 @@ class ElasticScheduler:
         self.fault_schedule = fault_schedule
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.workers = workers
+        self.fusion_threshold_mb = fusion_threshold_mb
+        self.fusion_max_ops = fusion_max_ops
         self._config_factory = config_factory
         if known_workloads is None and config_factory is None:
             from ..harness.experiments import WORKLOADS
@@ -223,7 +227,9 @@ class ElasticScheduler:
             job.workload, job.preset, num_socs=self.topology.num_socs,
             num_groups=max(1, self.topology.num_socs
                            // job.target_group_size),
-            seed=job.seed, max_epochs=job.epochs, workers=self.workers)
+            seed=job.seed, max_epochs=job.epochs, workers=self.workers,
+            fusion_threshold_mb=self.fusion_threshold_mb,
+            fusion_max_ops=self.fusion_max_ops)
         return replace(config, topology=self.topology)
 
     # ------------------------------------------------------------------

@@ -133,6 +133,7 @@ def write_trace(tracer, path, fmt: str = "chrome") -> None:
 # ----------------------------------------------------------------------
 _EPOCH_COLUMNS = [("epoch", "epoch"), ("seconds", "seconds"),
                   ("compute_s", "compute"), ("sync_s", "sync"),
+                  ("hidden_s", "hidden"),
                   ("update_s", "update"), ("recovery_s", "recovery"),
                   ("accuracy", "accuracy"), ("alpha", "alpha"),
                   ("retries", "retries")]

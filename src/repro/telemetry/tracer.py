@@ -26,12 +26,13 @@ __all__ = ["SPAN_KINDS", "TraceRecord", "NullTracer", "Tracer"]
 #: ``allreduce``, ``leader_sync``, ``nic_wait``, ``checkpoint``,
 #: ``recovery`` and ``fault`` are the paper-facing kinds; ``job``,
 #: ``queue`` and ``resize`` belong to the multi-tenant job scheduler
-#: (:mod:`repro.jobs`); the rest cover the remaining charged phases so
-#: a trace accounts for every simulated second.
+#: (:mod:`repro.jobs`); ``bucket_sync`` is one gradient bucket's
+#: collective under comm/compute overlap; the rest cover the remaining
+#: charged phases so a trace accounts for every simulated second.
 SPAN_KINDS = frozenset({
     "compute", "allreduce", "leader_sync", "nic_wait", "checkpoint",
     "recovery", "fault", "dispatch", "update", "sync", "epoch",
-    "preemption", "job", "queue", "resize",
+    "preemption", "job", "queue", "resize", "bucket_sync",
 })
 
 

@@ -26,6 +26,21 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.method == "socflow"
         assert args.socs == 32
+        assert args.fusion_threshold_mb is None
+        assert args.fusion_max_ops is None
+
+    def test_fusion_flags_parse_on_run_and_jobs(self):
+        args = build_parser().parse_args(
+            ["run", "--fusion-threshold-mb", "4.5", "--fusion-max-ops", "8"])
+        assert args.fusion_threshold_mb == 4.5
+        assert args.fusion_max_ops == 8
+        args = build_parser().parse_args(
+            ["jobs", "--spec", "x.yaml", "--fusion-threshold-mb", "25"])
+        assert args.fusion_threshold_mb == 25.0
+
+    def test_fusion_max_ops_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fusion-max-ops", "0"])
 
 
 class TestListCommand:
@@ -217,6 +232,27 @@ jobs:
         assert code == 0
         assert "smoke" in output and "completed" in output
         assert "idle-capacity utilisation" in output
+
+    def test_fusion_flags_round_trip_into_job_configs(self, tmp_path):
+        """--fusion-* flags flow CLI -> scheduler -> every job's
+        RunConfig (and the schedule still completes with them on)."""
+        code, output = run_cli([
+            "jobs", "--spec", self.write_spec(tmp_path), "--horizon", "4",
+            "--fusion-threshold-mb", "4", "--fusion-max-ops", "16"])
+        assert code == 0
+        assert "smoke" in output and "completed" in output
+
+        from repro.cluster import ClusterTopology
+        from repro.jobs import ElasticScheduler, TrainingJob
+        scheduler = ElasticScheduler(
+            ClusterTopology(num_socs=8), sessions=[],
+            fusion_threshold_mb=4.0, fusion_max_ops=16)
+        config = scheduler._config_for(
+            TrainingJob(id="t", workload="lenet5_fmnist", min_socs=2,
+                        max_socs=4, epochs=1))
+        assert config.fusion_threshold_mb == 4.0
+        assert config.fusion_max_ops == 16
+        assert config.fusion_enabled
 
     def test_report_trace_and_metrics_files(self, tmp_path):
         report = tmp_path / "report.json"
