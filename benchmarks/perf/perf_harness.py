@@ -20,6 +20,11 @@ Sections
   averaging against the whole-model fused path — same kernel, same
   bytes, sliced at bucket boundaries — with a bit-equality assert at
   every geometry.
+- ``step_time``: the end-to-end training step (forward, loss,
+  backward, fused SGD) on the eager tape interpreter against the
+  trace-once/replay-many graph executor, per registry model, with a
+  bit-equality assert before timing — the second microbenchmark the
+  CI regression gate watches.
 - ``epoch``: one end-to-end SoCFlow epoch (real math + simulated
   clock) at quick scale, sequential and with ``--workers 2``.
 
@@ -200,6 +205,81 @@ def bench_bucketed_aggregation(repeats: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+#: step-time benchmark geometries — quick-scale shapes where the
+#: interpreter overhead the graph executor removes is visible (larger
+#: images drown the step in BLAS time and both paths converge).
+STEP_TIME_SPECS = (
+    ("lenet5", {"in_channels": 1, "width": 0.25}, 4),
+    ("resnet18", {"in_channels": 3, "width": 0.25}, 8),
+    ("vit_tiny", {"in_channels": 3, "width": 0.5}, 8),
+)
+STEP_TIME_IMAGE = 16
+
+
+def bench_step_time(repeats: int) -> dict:
+    """End-to-end training step, eager vs compiled replay, per model.
+
+    For each geometry two identical models train on the same batch: one
+    on the eager tape interpreter, one through the trace-once/replay-many
+    graph executor.  Before timing, three verification steps run on both
+    and the resulting weights are asserted **bit-identical** — the
+    speedup below is only meaningful because the replayed step computes
+    the exact same bits.  ``speedup`` is eager / replay median; the CI
+    gate holds lenet5 and vit_tiny above their floors.
+    """
+    import repro.core  # noqa: F401 -- resolves the core<->distributed cycle
+    from repro.distributed.base import fp32_train_step
+    from repro.nn.optim import SGD
+
+    out: dict = {"image_size": STEP_TIME_IMAGE}
+    for name, kwargs, batch in STEP_TIME_SPECS:
+        kwargs = dict(kwargs, num_classes=10, image_size=STEP_TIME_IMAGE)
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(
+            (batch, kwargs["in_channels"], STEP_TIME_IMAGE,
+             STEP_TIME_IMAGE)).astype(np.float32)
+        y = rng.integers(0, 10, size=batch)
+
+        def make(graph: bool):
+            model = build_model(name, seed=3, **kwargs)
+            optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9,
+                            weight_decay=1e-4,
+                            flat=model.flatten_parameters())
+            if graph:
+                assert model.enable_graph_executor() is not None, name
+            return model, optimizer
+
+        eager_model, eager_opt = make(False)
+        graph_model, graph_opt = make(True)
+        for _ in range(3):
+            eager_loss = fp32_train_step(eager_model, eager_opt, x, y)
+            graph_loss = fp32_train_step(graph_model, graph_opt, x, y)
+            assert eager_loss == graph_loss, name
+        eager_state = eager_model.state_dict()
+        graph_state = graph_model.state_dict()
+        for key in eager_state:
+            assert np.array_equal(eager_state[key], graph_state[key]), \
+                (name, key)
+
+        eager = _time(
+            lambda: fp32_train_step(eager_model, eager_opt, x, y), repeats,
+            warmup=5)
+        replay = _time(
+            lambda: fp32_train_step(graph_model, graph_opt, x, y), repeats,
+            warmup=5)
+        executor = graph_model._graph_exec
+        program = executor.program_stats()[0]
+        out[name] = {
+            "batch": batch,
+            "eager": eager,
+            "replay": replay,
+            "speedup": eager["median_s"] / replay["median_s"],
+            "program": program,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
 def bench_epoch(repeats: int, workers: int = 1, epochs: int = 1) -> dict:
     """End-to-end SoCFlow wall time at quick scale (host seconds)."""
     from repro.core import SoCFlow, SoCFlowOptions
@@ -229,6 +309,7 @@ def run_harness(mode: str = "smoke") -> dict:
         "conv": bench_conv(repeats),
         "aggregation": bench_aggregation(max(repeats, 20)),
         "bucketed_aggregation": bench_bucketed_aggregation(max(repeats, 20)),
+        "step_time": bench_step_time(max(repeats, 15)),
         "epoch": {
             "sequential": bench_epoch(1 if mode == "smoke" else repeats),
             "workers2": bench_epoch(1 if mode == "smoke" else repeats,
@@ -258,6 +339,12 @@ def main(argv=None) -> int:
     print(f"agg bucketed   "
           f"{bucketed['buckets8']['median_s']*1e6:8.1f} us "
           f"({bucketed['buckets8']['num_buckets']} buckets)")
+    for name, _, _ in STEP_TIME_SPECS:
+        timing = report["step_time"][name]
+        print(f"step {name:10s} eager "
+              f"{timing['eager']['median_s']*1e3:7.2f} ms  replay "
+              f"{timing['replay']['median_s']*1e3:7.2f} ms  "
+              f"{timing['speedup']:5.2f}x")
     print(f"epoch seq      "
           f"{report['epoch']['sequential']['median_s']:8.2f} s")
     print(f"epoch w=2      {report['epoch']['workers2']['median_s']:8.2f} s")

@@ -3,8 +3,10 @@
 Runs the host wall-clock harness (``perf_harness.py``) in smoke mode,
 writes the report to ``$BENCH_PERF_OUT`` (default ``BENCH_perf.json``
 in the current directory — CI uploads it as a workflow artifact), and
-fails when the fused-vs-per-key aggregation speedup regresses more
-than 25% relative to the committed ``baseline.json``.
+fails when a gated microbenchmark regresses more than 25% relative to
+the committed ``baseline.json``: the fused-vs-per-key aggregation
+speedup, the per-tensor bucketed-averaging overhead, and the compiled
+(graph-executor) training-step speedups on lenet5 and vit_tiny.
 
 Wall-clock assertions on shared CI runners are noisy, so the gate
 retries once with more repeats before declaring a regression; the
@@ -23,7 +25,8 @@ from pathlib import Path
 
 import pytest
 
-from perf_harness import bench_aggregation, run_harness
+from perf_harness import (bench_aggregation, bench_bucketed_aggregation,
+                          bench_step_time, run_harness)
 
 _HERE = Path(__file__).resolve().parent
 
@@ -46,11 +49,14 @@ def baseline() -> dict:
 
 def test_report_has_all_sections(report):
     assert set(report) >= {"mode", "host", "conv", "aggregation",
-                           "bucketed_aggregation", "epoch"}
+                           "bucketed_aggregation", "step_time", "epoch"}
     for section in ("forward", "forward_backward"):
         assert report["conv"][section]["median_s"] > 0
     for path in ("fused", "per_key", "per_key_fallback"):
         assert report["aggregation"][path]["median_s"] > 0
+    for model in ("lenet5", "resnet18", "vit_tiny"):
+        assert report["step_time"][model]["eager"]["median_s"] > 0
+        assert report["step_time"][model]["replay"]["median_s"] > 0
     for variant in ("sequential", "workers2"):
         assert report["epoch"][variant]["median_s"] > 0
 
@@ -88,3 +94,70 @@ def test_fused_aggregation_not_regressed_vs_baseline(report, baseline):
         f"fused aggregation speedup {speedup:.2f}x fell below 75% of the "
         f"committed baseline ({baseline['aggregation']['speedup']:.2f}x; "
         f"gate at {floor:.2f}x) — the fused data plane regressed")
+
+
+def test_bucketed_overhead_not_regressed(report, baseline):
+    """CI gate: slicing the flat average at bucket boundaries must stay
+    cheap — same kernel, same bytes, only per-bucket launches added.
+
+    The ceiling is generous (max of 2x absolute and 1.6x the committed
+    ~1.24x baseline) because the per-tensor extreme measures launch
+    overhead of sub-microsecond slices on a shared runner.
+    """
+    ceiling = max(2.0,
+                  1.6 * baseline["bucketed_aggregation"]["overhead_vs_whole"])
+    overhead = report["bucketed_aggregation"]["overhead_vs_whole"]
+    if overhead > ceiling:                              # noisy runner: retry
+        overhead = bench_bucketed_aggregation(
+            repeats=50)["overhead_vs_whole"]
+    assert overhead <= ceiling, (
+        f"per-tensor bucketed averaging costs {overhead:.2f}x the "
+        f"whole-model fused path (ceiling {ceiling:.2f}x) — bucket "
+        f"slicing got expensive")
+
+
+# -- graph executor (trace-once/replay-many) gates ----------------------
+#: models whose compiled-step speedup the CI gate enforces (resnet18 is
+#: reported but not gated: its step is BLAS-bound, so removing the
+#: interpreter moves it less)
+_GATED_STEP_MODELS = ("lenet5", "vit_tiny")
+
+
+def test_compiled_step_meets_absolute_target(report):
+    """Acceptance criterion: replaying the compiled step is >= 1.3x
+    faster than the eager tape interpreter on a CNN and the ViT (the
+    harness asserts bit-identical weights before timing)."""
+    retried = None
+    for model in _GATED_STEP_MODELS:
+        speedup = report["step_time"][model]["speedup"]
+        if speedup < 1.3:                               # noisy runner: retry
+            retried = retried or bench_step_time(repeats=40)
+            speedup = retried[model]["speedup"]
+        assert speedup >= 1.3, (
+            f"compiled {model} step only {speedup:.2f}x over eager "
+            f"(need >= 1.3x)")
+
+
+def test_compiled_step_not_regressed_vs_baseline(report, baseline):
+    """CI gate: fail on a >25% relative regression of the compiled-step
+    speedup vs the committed baseline."""
+    retried = None
+    for model in _GATED_STEP_MODELS:
+        floor = 0.75 * baseline["step_time"][model]["speedup"]
+        speedup = report["step_time"][model]["speedup"]
+        if speedup < floor:                             # noisy runner: retry
+            retried = retried or bench_step_time(repeats=40)
+            speedup = retried[model]["speedup"]
+        assert speedup >= floor, (
+            f"compiled {model} step speedup {speedup:.2f}x fell below 75% "
+            f"of the committed baseline "
+            f"({baseline['step_time'][model]['speedup']:.2f}x; gate at "
+            f"{floor:.2f}x) — the graph executor regressed")
+
+
+def test_compiled_step_arena_smaller_than_naive(report):
+    """The lifetime planner must actually pack: the arena has to be
+    smaller than giving every intermediate a dedicated buffer."""
+    for model in ("lenet5", "resnet18", "vit_tiny"):
+        program = report["step_time"][model]["program"]
+        assert program["arena_bytes"] < program["naive_bytes"], model

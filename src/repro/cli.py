@@ -152,6 +152,11 @@ def _add_fusion_args(parser: argparse.ArgumentParser) -> None:
                         help="bucketed gradient fusion: at most N tensors "
                              "per bucket (combines with the MiB threshold; "
                              "either knob alone enables fusion)")
+    parser.add_argument("--graph", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="compile the training step: trace once, replay "
+                             "many with a preallocated tensor arena "
+                             "(bit-identical to eager; default: off)")
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -192,7 +197,8 @@ def _train(args, method: str, fault_schedule=None, telemetry=None):
                              fusion_threshold_mb=getattr(
                                  args, "fusion_threshold_mb", None),
                              fusion_max_ops=getattr(
-                                 args, "fusion_max_ops", None))
+                                 args, "fusion_max_ops", None),
+                             graph=bool(getattr(args, "graph", None)))
     if method == "socflow":
         return SoCFlow(SoCFlowOptions()).train(config)
     return build_strategy(method).train(config)
@@ -381,6 +387,7 @@ def cmd_jobs(args, out) -> int:
     fusion_threshold = setting(args.fusion_threshold_mb,
                                "fusion_threshold_mb", None)
     fusion_max_ops = setting(args.fusion_max_ops, "fusion_max_ops", None)
+    graph = setting(args.graph, "graph", False)
     scheduler = ElasticScheduler(
         topology, sessions, quantum_hours=quantum, horizon_hours=horizon,
         start_hour=start_hour, elastic=window is None, window=window,
@@ -389,7 +396,8 @@ def cmd_jobs(args, out) -> int:
         fusion_threshold_mb=(None if fusion_threshold is None
                              else float(fusion_threshold)),
         fusion_max_ops=(None if fusion_max_ops is None
-                        else int(fusion_max_ops)))
+                        else int(fusion_max_ops)),
+        graph=bool(graph))
     admitted = 0
     for job in jobs:
         try:

@@ -42,6 +42,11 @@ class GroupMixedTrainer:
                             momentum=config.momentum,
                             weight_decay=config.weight_decay,
                             flat=self.fp32.flatten_parameters())
+        if config.graph:
+            # Trace-once/replay-many FP32 step; the INT8 replica keeps
+            # its own quantised path.  Replays are bit-identical, so
+            # group results match the eager trainer exactly.
+            self.fp32.enable_graph_executor()
         self.int8: Int8Trainer | None = None
         if mixed:
             int8_model = make_model(config, seed_offset=seed_offset)

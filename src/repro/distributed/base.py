@@ -95,6 +95,13 @@ class RunConfig:
     #: = whole-model sync (the pre-fusion behaviour, bit-for-bit).
     fusion_max_ops: int | None = None
 
+    #: trace-once/replay-many compiled graph executor for the host
+    #: training hot path (see :mod:`repro.nn.graph`).  Replayed steps are
+    #: bit-identical to the eager interpreter; eager remains the
+    #: automatic fallback on shape change, re-grouping, or unsupported
+    #: ops.
+    graph: bool = False
+
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
@@ -153,7 +160,16 @@ def evaluate_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
 
 def fp32_train_step(model: Module, optimizer: SGD, x: np.ndarray,
                     y: np.ndarray) -> float:
-    """One synchronous SGD step; returns the batch loss."""
+    """One synchronous SGD step; returns the batch loss.
+
+    When a :class:`repro.nn.graph.GraphExecutor` is attached to the
+    model (``config.graph``), the step dispatches to it — a replayed
+    compiled program when one matches, the eager interpreter otherwise,
+    bit-identical either way.
+    """
+    executor = getattr(model, "_graph_exec", None)
+    if executor is not None:
+        return executor.step(optimizer, x, y)
     model.train()
     optimizer.zero_grad()
     logits = model(Tensor(x))
@@ -161,6 +177,30 @@ def fp32_train_step(model: Module, optimizer: SGD, x: np.ndarray,
     loss.backward()
     optimizer.step()
     return loss.item()
+
+
+def flush_graph_stats(model: Module, cost: "CostModel",
+                      extra: dict) -> None:
+    """Surface a model's graph-executor counters after a training run.
+
+    No-op without an attached executor.  With one, the capture/replay
+    counters land in ``extra["graph_stats"]``, the metrics registry
+    (``graph.captures`` / ``graph.replays`` / ``graph.eager_steps`` /
+    ``graph.fallbacks``) and a ``graph_replay`` summary span at the
+    current simulated clock.  Numerics are untouched, so traced and
+    untraced runs stay bit-identical.
+    """
+    executor = getattr(model, "_graph_exec", None)
+    if executor is None:
+        return
+    stats = executor.snapshot()
+    extra["graph_stats"] = stats
+    telemetry = cost.telemetry
+    if telemetry.metrics.enabled:
+        for key, value in stats.items():
+            telemetry.metrics.counter(f"graph.{key}").inc(value)
+    if telemetry.tracer.enabled:
+        telemetry.tracer.span("graph_replay", cost.clock.now, 0.0, **stats)
 
 
 class CostModel:

@@ -66,6 +66,11 @@ class FedAvg(Strategy):
         # array ops (bit-identical to the per-key paths).
         global_model.flatten_parameters()
         client_flat = client_model.flatten_parameters()
+        if config.graph:
+            # One executor serves every client round: load_state_dict
+            # writes weights in place, so the flat storage stays intact
+            # and captured programs remain valid across rounds.
+            client_model.enable_graph_executor()
 
         # Simulated per-round cost: every client trains its full-scale
         # shard locally (all clients in parallel), then one aggregation.

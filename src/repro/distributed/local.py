@@ -10,7 +10,8 @@ from ..cluster.topology import ClusterTopology
 from ..data.loader import ArrayDataset, DataLoader
 from ..nn.optim import SGD
 from .base import (CostModel, RunConfig, Strategy, StrategyResult,
-                   evaluate_accuracy, fp32_train_step, make_model)
+                   evaluate_accuracy, flush_graph_stats, fp32_train_step,
+                   make_model)
 
 __all__ = ["LocalSingleSoC"]
 
@@ -36,6 +37,8 @@ class LocalSingleSoC(Strategy):
                         momentum=config.momentum,
                         weight_decay=config.weight_decay,
                         flat=model.flatten_parameters())
+        if config.graph:
+            model.enable_graph_executor()
         loader = DataLoader(
             ArrayDataset(config.task.x_train, config.task.y_train),
             config.batch_size, shuffle=True, seed=config.seed)
@@ -45,6 +48,7 @@ class LocalSingleSoC(Strategy):
         cpu_fraction = 1.0 if self.processor == "cpu" else 0.0
         history: list[float] = []
         state: dict = {}
+        extra: dict = {}
         for epoch in range(config.max_epochs):
             for x, y in loader:
                 fp32_train_step(model, optimizer, x, y)
@@ -54,4 +58,5 @@ class LocalSingleSoC(Strategy):
                                          config.task.y_test)
             self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
                                              history, state)
-        return self._result(self.name, config, cost, history, state)
+        flush_graph_stats(model, cost, extra)
+        return self._result(self.name, config, cost, history, state, extra)

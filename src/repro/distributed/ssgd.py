@@ -13,7 +13,8 @@ import numpy as np
 from ..data.loader import ArrayDataset, DataLoader
 from ..nn.optim import SGD
 from .base import (CostModel, RunConfig, Strategy, StrategyResult,
-                   evaluate_accuracy, fp32_train_step, make_model)
+                   evaluate_accuracy, flush_graph_stats, fp32_train_step,
+                   make_model)
 
 __all__ = ["SsgdStrategy"]
 
@@ -84,6 +85,11 @@ class SsgdStrategy(Strategy):
                         momentum=config.momentum,
                         weight_decay=config.weight_decay,
                         flat=flat)
+        if config.graph and not self._uses_gradient_hook():
+            # Gradient-hook strategies (HiPress DGC) mutate gradients
+            # between backward and step; the compiled program fuses
+            # those phases, so they stay on the eager interpreter.
+            model.enable_graph_executor()
         loader = DataLoader(
             ArrayDataset(config.task.x_train, config.task.y_train),
             config.batch_size, shuffle=True, seed=config.seed)
@@ -129,6 +135,7 @@ class SsgdStrategy(Strategy):
                                              history, state)
         if config.fault_schedule is not None:
             extra.setdefault("aborted", False)
+        flush_graph_stats(model, cost, extra)
         return self._result(self.name, config, cost, history, state, extra)
 
     # -- gradient-hook plumbing ---------------------------------------------

@@ -47,6 +47,9 @@ class StaleSynchronous(Strategy):
                           weight_decay=config.weight_decay,
                           flat=chain.flatten_parameters())
                       for chain in chains]
+        if config.graph:
+            for chain in chains:
+                chain.enable_graph_executor()
         shards = iid_partition(config.task.x_train, config.task.y_train,
                                _NUM_CHAINS, seed=config.seed)
 

@@ -97,7 +97,8 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
                     fault_mode: str = "fail-stop",
                     telemetry=None, workers: int = 1,
                     fusion_threshold_mb: float | None = None,
-                    fusion_max_ops: int | None = None) -> RunConfig:
+                    fusion_max_ops: int | None = None,
+                    graph: bool = False) -> RunConfig:
     """Build the RunConfig for one workload at one scale."""
     workload = WORKLOADS[workload_key]
     preset = SCALE_PRESETS[preset_name]
@@ -123,6 +124,7 @@ def make_run_config(workload_key: str, preset_name: str = "bench",
         telemetry=telemetry,
         fusion_threshold_mb=fusion_threshold_mb,
         fusion_max_ops=fusion_max_ops,
+        graph=graph,
     )
     if workload.transfer_from is not None:
         config = pretrain_for_transfer(config, workload, preset, seed)

@@ -145,7 +145,8 @@ class ElasticScheduler:
                  workers: int = 1, config_factory=None,
                  known_workloads: "set[str] | None" = None,
                  fusion_threshold_mb: float | None = None,
-                 fusion_max_ops: int | None = None):
+                 fusion_max_ops: int | None = None,
+                 graph: bool = False):
         if quantum_hours <= 0:
             raise ValueError("quantum_hours must be positive")
         if horizon_hours <= 0:
@@ -164,6 +165,7 @@ class ElasticScheduler:
         self.workers = workers
         self.fusion_threshold_mb = fusion_threshold_mb
         self.fusion_max_ops = fusion_max_ops
+        self.graph = graph
         self._config_factory = config_factory
         if known_workloads is None and config_factory is None:
             from ..harness.experiments import WORKLOADS
@@ -229,7 +231,8 @@ class ElasticScheduler:
                            // job.target_group_size),
             seed=job.seed, max_epochs=job.epochs, workers=self.workers,
             fusion_threshold_mb=self.fusion_threshold_mb,
-            fusion_max_ops=self.fusion_max_ops)
+            fusion_max_ops=self.fusion_max_ops,
+            graph=self.graph)
         return replace(config, topology=self.topology)
 
     # ------------------------------------------------------------------

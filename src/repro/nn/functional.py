@@ -167,7 +167,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                                                grad_cols.dtype))
                 x._accumulate(grad_x)
 
-        out = Tensor._make(out_data, (x, weight), backward)
+        out = Tensor._make(out_data, (x, weight), backward, op="conv2d",
+                           ctx={"kernel": kernel, "stride": stride,
+                                "groups": 1})
     else:
         # Grouped/depthwise: run each group through the same im2col path.
         group_in = c // groups
@@ -175,7 +177,13 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         cols = im2col(x.data, kernel, stride)
         cols = cols.reshape(n, groups, group_in * kernel * kernel, -1)
         w_mat = weight.data.reshape(groups, group_out, -1)
-        out_data = np.einsum("gok,ngkl->ngol", w_mat, cols, optimize=True)
+        # einsum's optimized path returns a transposed-layout view; write
+        # into a C-contiguous buffer so downstream reductions (batch-norm
+        # mean/var) see a canonical layout.
+        out_data = np.einsum(
+            "gok,ngkl->ngol", w_mat, cols, optimize=True,
+            out=np.empty((n, groups, group_out, cols.shape[-1]),
+                         dtype=np.float32))
         out_data = out_data.reshape(n, out_c, out_h, out_w)
 
         def backward(grad: np.ndarray) -> None:
@@ -189,7 +197,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                 grad_cols = grad_cols.reshape(n, c * kernel * kernel, -1)
                 x._accumulate(col2im(grad_cols, x.shape, kernel, stride))
 
-        out = Tensor._make(out_data, (x, weight), backward)
+        out = Tensor._make(out_data, (x, weight), backward, op="conv2d",
+                           ctx={"kernel": kernel, "stride": stride,
+                                "groups": groups})
 
     if bias is not None:
         out = out + bias.reshape(1, out_c, 1, 1)
@@ -222,7 +232,8 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
                                        np.float32))
         x._accumulate(grad_x.reshape(x.shape))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="max_pool2d",
+                        ctx={"kernel": kernel, "stride": stride})
 
 
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
@@ -247,7 +258,8 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
                                        np.float32))
         x._accumulate(grad_x.reshape(x.shape))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="avg_pool2d",
+                        ctx={"kernel": kernel, "stride": stride})
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -299,7 +311,12 @@ def batch_norm(x: Tensor, weight: Tensor, bias: Tensor,
                 grad_x = g * inv_std.reshape(shape)
             x._accumulate(grad_x.astype(np.float32))
 
-    return Tensor._make(out_data, (x, weight, bias), backward)
+    return Tensor._make(out_data, (x, weight, bias), backward,
+                        op="batch_norm",
+                        ctx={"running_mean": running_mean,
+                             "running_var": running_var,
+                             "training": training, "momentum": momentum,
+                             "eps": eps})
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -311,7 +328,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="log_softmax",
+                        ctx={"axis": axis})
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -348,12 +366,27 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
         logits._accumulate(g)
 
     return Tensor._make(np.asarray(loss, dtype=np.float32), (logits,),
-                        backward)
+                        backward, op="cross_entropy",
+                        ctx={"targets": targets})
 
 
 def dropout(x: Tensor, p: float, training: bool,
             rng: np.random.Generator) -> Tensor:
+    """Inverted dropout as a single graph node.
+
+    One ``rng.random`` draw per call keeps the generator stream aligned
+    with the historical ``x * Tensor(mask)`` form, and the forward/
+    backward arithmetic is operation-for-operation identical to it, so
+    values are unchanged.  Being one node (instead of a mul against an
+    anonymous constant tensor) is what lets the graph executor replay
+    dropout by re-drawing the mask from the captured generator.
+    """
     if not training or p <= 0.0:
         return x
     mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
-    return x * Tensor(mask)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward, op="dropout",
+                        ctx={"p": p, "rng": rng})

@@ -1,0 +1,1555 @@
+"""Trace-once/replay-many compiled graph executor for the training step.
+
+The eager engine (:mod:`repro.nn.tensor`) rebuilds the autograd tape,
+re-runs a Python DFS for the topological order, and reallocates every
+intermediate and gradient array on *every* step — pure interpreter
+overhead, since the SoCFlow training step is completely static.  This
+module removes that overhead:
+
+``GraphCapture``
+    records one eager training step (forward, loss, backward, fused
+    optimizer) into an op list.  Capture is observational: the recorded
+    step runs the normal eager code path and is bit-identical to an
+    uninstrumented step.
+
+``compile_program``
+    turns a capture into a ``_Program``: a flat tuple of closures over
+    preallocated numpy arrays.  A tensor-lifetime planner packs all
+    float32 intermediates and gradients into a single arena buffer
+    (first-fit over [first-def, last-use] intervals), an elementwise
+    chain fuser rewrites single-consumer elementwise ops to compute in
+    place in their producer's buffer, and every kernel is an ``out=``
+    ufunc/matmul/einsum call replicating the eager arithmetic
+    operation-for-operation — replayed steps are bit-identical to eager
+    steps.
+
+``GraphExecutor``
+    owns per-input-shape programs for one model and dispatches
+    ``step()`` to ``replay`` (zero tape construction, zero allocation in
+    the hot loop) or falls back to the eager interpreter on shape
+    change, non-intact flat buffers (faults-induced re-grouping rebinds
+    parameter storage), or unsupported ops.
+
+Bit-identity ground rules used throughout: ``out=`` ufuncs run the same
+inner loops as their allocating forms; ``np.copyto`` casts exactly like
+``astype``; ``a[idx] = g`` on a zeroed buffer equals ``np.add.at`` for
+duplicate-free basic indices; sums with ``out=`` use the same pairwise
+reduction.  Anything that cannot be replicated exactly raises
+:class:`GraphUnsupported` at compile time and the executor stays eager.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from . import functional as F
+from . import tensor as tensor_mod
+from .tensor import Tensor
+
+__all__ = [
+    "GraphCapture", "GraphExecutor", "GraphUnsupported",
+    "attach_graph_executor", "detach_graph_executor", "compile_program",
+]
+
+
+class GraphUnsupported(Exception):
+    """The captured step cannot be compiled; the executor stays eager."""
+
+
+#: ops the compiler knows how to replay bit-identically
+_SUPPORTED = frozenset({
+    "add", "neg", "mul", "div", "pow", "matmul", "sum", "reshape",
+    "transpose", "getitem", "relu", "exp", "sqrt", "tanh", "sigmoid",
+    "pad2d", "conv2d", "max_pool2d", "avg_pool2d", "batch_norm",
+    "log_softmax", "cross_entropy", "dropout",
+})
+
+#: elementwise ops whose output buffer may be the (dead) input buffer
+_ELEMENTWISE = frozenset({
+    "add", "neg", "mul", "div", "pow", "relu", "exp", "sqrt", "tanh",
+    "sigmoid", "dropout",
+})
+
+
+# ---------------------------------------------------------------------------
+# Capture
+# ---------------------------------------------------------------------------
+
+class _Src:
+    """One op input: either a recorded node or a leaf tensor."""
+
+    __slots__ = ("node", "t", "kind", "val")
+
+    def __init__(self, node=None, t=None, kind="node"):
+        self.node = node            # producing _Node, or None for leaves
+        self.t = t                  # leaf Tensor (param / const / input)
+        self.kind = kind            # "node" | "input" | "param" | "const"
+        self.val = None             # compiler-assigned runtime value
+
+    @property
+    def requires_grad(self) -> bool:
+        if self.node is not None:
+            return self.node.rg
+        return self.t.requires_grad
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        if self.node is not None:
+            return self.node.shape
+        return self.t.data.shape
+
+
+class _Node:
+    """One recorded op application."""
+
+    __slots__ = ("idx", "op", "ctx", "t", "srcs", "val", "aux")
+
+    def __init__(self, idx, op, ctx, t, srcs):
+        self.idx = idx
+        self.op = op
+        self.ctx = ctx or {}
+        self.t = t                  # the eager output tensor (kept alive)
+        self.srcs = srcs
+        self.val = None             # compiler-assigned runtime value
+        self.aux = {}               # op-specific saved buffers
+
+    @property
+    def rg(self) -> bool:
+        return self.t.requires_grad
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.t.data.shape
+
+
+class GraphCapture:
+    """Records every op of one eager training step via ``Tensor._make``.
+
+    Parameters
+    ----------
+    x_tensor:
+        The input tensor the executor fed to the model (the only leaf
+        treated as a per-replay input slot).
+    targets:
+        The integer target array passed to ``cross_entropy`` (matched by
+        identity at compile time; it becomes the second input slot).
+    params:
+        The model's parameter tensors (``FlatParamBuffer.param_tensors``).
+    """
+
+    def __init__(self, x_tensor: Tensor, targets: np.ndarray, params):
+        self.x_tensor = x_tensor
+        self.targets = targets
+        self._param_ids = {id(p) for p in params}
+        self.nodes: list[_Node] = []
+        self.by_id: dict[int, _Node] = {}
+        self._src_by_id: dict[int, _Src] = {}
+        self.unsupported: str | None = None
+
+    def record(self, op, out, parents, ctx) -> None:
+        if op not in _SUPPORTED:
+            self.unsupported = op or "<untagged>"
+            return
+        srcs = tuple(self._src(p) for p in parents)
+        node = _Node(len(self.nodes), op, ctx, out, srcs)
+        self.nodes.append(node)
+        self.by_id[id(out)] = node
+
+    def _src(self, t: Tensor) -> _Src:
+        node = self.by_id.get(id(t))
+        if node is not None:
+            return _Src(node=node)
+        src = self._src_by_id.get(id(t))
+        if src is None:
+            if t is self.x_tensor:
+                kind = "input"
+            elif id(t) in self._param_ids:
+                kind = "param"
+            else:
+                kind = "const"
+            src = _Src(t=t, kind=kind)
+            self._src_by_id[id(t)] = src
+        return src
+
+    def leaves(self):
+        return self._src_by_id.values()
+
+
+# ---------------------------------------------------------------------------
+# Runtime value model
+# ---------------------------------------------------------------------------
+
+class _Buf:
+    """A float32 arena-managed buffer with a [start, end] instr lifetime."""
+
+    __slots__ = ("shape", "dtype", "start", "end", "offset", "array", "contig")
+
+    def __init__(self, shape, dtype, start):
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.start = start
+        self.end = start
+        self.offset = -1
+        self.array: np.ndarray | None = None
+        self.contig = True
+
+    @property
+    def nbytes(self) -> int:
+        n = self.dtype.itemsize
+        for d in self.shape:
+            n *= d
+        return n
+
+
+class _View:
+    """A bind-time alias of another value (zero-copy at replay)."""
+
+    __slots__ = ("base", "fn", "contig", "arr")
+
+    def __init__(self, base, fn: Callable[[np.ndarray], np.ndarray],
+                 contig: bool):
+        self.base = base
+        self.fn = fn
+        self.contig = contig
+        self.arr: np.ndarray | None = None
+
+
+def _root_buf(val):
+    while isinstance(val, _View):
+        val = val.base
+    return val if isinstance(val, _Buf) else None
+
+
+def _is_contig(val) -> bool:
+    if isinstance(val, (_Buf, _View)):
+        return val.contig
+    if isinstance(val, np.ndarray):
+        return val.flags["C_CONTIGUOUS"]
+    return False
+
+
+def _val_shape(val):
+    if isinstance(val, _Buf):
+        return val.shape
+    if isinstance(val, np.ndarray):
+        return val.shape
+    raise GraphUnsupported("shape of alias value requested")
+
+
+# ---------------------------------------------------------------------------
+# Kernels (closure factories; called at bind time with resolved arrays)
+# ---------------------------------------------------------------------------
+
+def _kuf1(uf, a, out):
+    def run():
+        uf(a, out=out)
+    return run
+
+
+def _kuf2(uf, a, b, out):
+    def run():
+        uf(a, b, out=out)
+    return run
+
+
+def _kcopy(dst, src):
+    def run():
+        np.copyto(dst, src)
+    return run
+
+
+def _kiadd(dst, src):
+    def run():
+        np.add(dst, src, out=dst)
+    return run
+
+
+def _ksum(a, axis, keepdims, out):
+    def run():
+        np.sum(a, axis=axis, keepdims=keepdims, out=out)
+    return run
+
+
+def _kamax(a, axis, out):
+    def run():
+        np.max(a, axis=axis, keepdims=True, out=out)
+    return run
+
+
+def _kmean(a, axis, out):
+    def run():
+        np.mean(a, axis=axis, out=out)
+    return run
+
+
+def _kvar(a, axis, out):
+    def run():
+        np.var(a, axis=axis, out=out)
+    return run
+
+
+def _kmatmul(a, b, out):
+    def run():
+        np.matmul(a, b, out=out)
+    return run
+
+
+def _keinsum(spec, a, b, out):
+    def run():
+        np.einsum(spec, a, b, out=out, optimize=True)
+    return run
+
+
+def _kim2col(a, kernel, stride, out):
+    def run():
+        F.im2col(a, kernel, stride, out=out)
+    return run
+
+
+def _kcol2im(cols, x_shape, kernel, stride, out):
+    def run():
+        F.col2im(cols, x_shape, kernel, stride, out=out)
+    return run
+
+
+def _kargmax(a, out):
+    def run():
+        np.argmax(a, axis=1, out=out)
+    return run
+
+
+def _ktake(cols, arg, out):
+    def run():
+        np.copyto(out, np.take_along_axis(cols, arg, axis=1))
+    return run
+
+
+def _kput(gcols, arg, g, out_unused=None):
+    def run():
+        gcols[...] = 0
+        np.put_along_axis(gcols, arg, g, axis=1)
+    return run
+
+
+def _kfill(dst, a, index):
+    def run():
+        dst[index] = a
+    return run
+
+
+def _kfancy_get(out, a, index):
+    def run():
+        out[...] = a[index]
+    return run
+
+
+def _kscatter_add(full, index, g):
+    def run():
+        full[...] = 0
+        np.add.at(full, index, g)
+    return run
+
+
+def _krng(rng, r):
+    def run():
+        rng.random(out=r)
+    return run
+
+
+def _krunning(stat, delta_tmp, batch_stat, momentum):
+    one_minus = 1.0 - momentum
+
+    def run():
+        np.multiply(stat, one_minus, out=stat)
+        np.multiply(batch_stat, momentum, out=delta_tmp)
+        np.add(stat, delta_tmp, out=stat)
+    return run
+
+
+def _kce_loss(lp, rows, y, inv_n, loss):
+    def run():
+        picked = lp[rows, y]
+        loss[...] = -(picked.sum() * inv_n)
+    return run
+
+
+def _kce_grad(lgrad, inv_n, gl, rows, y, soft, tmp):
+    def run():
+        upstream = (-lgrad) * inv_n
+        gl[...] = 0
+        gl[rows, y] = upstream
+        np.multiply(soft, upstream, out=tmp)
+        np.subtract(gl, tmp, out=gl)
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Arena packing
+# ---------------------------------------------------------------------------
+
+_ALIGN = 64
+
+
+def _pack_arena(bufs: list[_Buf]) -> int:
+    """First-fit interval packing; sets ``buf.offset``, returns total bytes."""
+    free: list[tuple[int, int]] = []        # (offset, size), offset-sorted
+    active: list[tuple[int, int, int]] = []  # heap of (end, offset, size)
+    high_water = 0
+
+    def release(off, size):
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, (off, size))
+        if lo + 1 < len(free) and free[lo][0] + free[lo][1] == free[lo + 1][0]:
+            off2, size2 = free.pop(lo + 1)
+            free[lo] = (free[lo][0], free[lo][1] + size2)
+        if lo > 0 and free[lo - 1][0] + free[lo - 1][1] == free[lo][0]:
+            off2, size2 = free.pop(lo)
+            free[lo - 1] = (free[lo - 1][0], free[lo - 1][1] + size2)
+
+    for buf in sorted(bufs, key=lambda b: (b.start, b.end)):
+        while active and active[0][0] < buf.start:
+            _, off, size = heapq.heappop(active)
+            release(off, size)
+        need = -(-buf.nbytes // _ALIGN) * _ALIGN
+        offset = None
+        for i, (off, size) in enumerate(free):
+            if size >= need:
+                offset = off
+                if size == need:
+                    free.pop(i)
+                else:
+                    free[i] = (off + need, size - need)
+                break
+        if offset is None:
+            offset = high_water
+        buf.offset = offset
+        high_water = max(high_water, offset + need)
+        heapq.heappush(active, (buf.end, offset, need))
+    return high_water
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+class _Compiler:
+    def __init__(self, capture: GraphCapture, loss_node: _Node, fuse: bool):
+        self.capture = capture
+        self.loss_node = loss_node
+        self.fuse = fuse
+        self._instrs: list[tuple] = []      # (maker, args...)
+        self._bufs: list[_Buf] = []
+        self._ded_bytes = 0
+        self._gslot: dict[int, object] = {}   # id(node|src) -> value
+        self._gcount: dict[int, int] = {}
+        self._param_grads: list[tuple[Tensor, np.ndarray]] = []
+        self._seen_params: set[int] = set()
+        self.fused_elementwise = 0
+
+        x = capture.x_tensor.data
+        self.x_buf = np.empty(x.shape, dtype=np.float32)
+        y = np.asarray(capture.targets)
+        self.y_buf = np.empty(y.shape, dtype=y.dtype)
+        self._ded_bytes += self.x_buf.nbytes + self.y_buf.nbytes
+        self.loss_buf: np.ndarray | None = None
+
+        for src in capture.leaves():
+            if src.kind == "input":
+                src.val = self.x_buf
+            else:
+                src.val = src.t.data
+        self._consumers = self._count_consumers()
+        self._saved = self._saved_values()
+
+    # -- analysis ------------------------------------------------------
+    def _count_consumers(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for node in self.capture.nodes:
+            for src in node.srcs:
+                if src.node is not None:
+                    counts[id(src.node)] = counts.get(id(src.node), 0) + 1
+        return counts
+
+    def _saved_values(self) -> set[int]:
+        """ids of nodes whose *forward value* some backward kernel reads."""
+        saved: set[int] = {id(self.loss_node)}
+
+        def mark(src):
+            if src.node is not None:
+                saved.add(id(src.node))
+
+        for node in self.capture.nodes:
+            if not node.rg:
+                continue
+            op, s = node.op, node.srcs
+            if op in ("mul", "matmul"):
+                if s[0].requires_grad:
+                    mark(s[1])
+                if s[1].requires_grad:
+                    mark(s[0])
+            elif op == "div":
+                if s[0].requires_grad:
+                    mark(s[1])
+                if s[1].requires_grad:
+                    mark(s[0])
+                    mark(s[1])
+            elif op == "pow":
+                mark(s[0])
+            elif op in ("exp", "sqrt", "tanh", "sigmoid"):
+                saved.add(id(node))
+        return saved
+
+    # -- emission helpers ----------------------------------------------
+    def _touch(self, val) -> None:
+        root = _root_buf(val)
+        if root is not None:
+            root.end = len(self._instrs)
+
+    def _emit(self, maker, *args) -> None:
+        for a in args:
+            self._touch(a)
+        self._instrs.append((maker,) + args)
+
+    def _buf(self, shape, dtype=np.float32) -> _Buf:
+        buf = _Buf(shape, dtype, len(self._instrs))
+        self._bufs.append(buf)
+        return buf
+
+    def _ded(self, shape, dtype=np.float32, zero=False) -> np.ndarray:
+        arr = (np.zeros if zero else np.empty)(shape, dtype=dtype)
+        self._ded_bytes += arr.nbytes
+        return arr
+
+    def _value(self, src: _Src):
+        if src.node is not None:
+            return src.node.val
+        return src.val
+
+    # -- gradient accumulation -----------------------------------------
+    def _slot(self, tgt):
+        """(storage, first_write) for the grad of ``tgt`` or None to skip.
+
+        ``tgt`` is a _Node or a leaf _Src; replicates the eager
+        ``_accumulate`` copy-then-add discipline per target.
+        """
+        if isinstance(tgt, _Src):
+            if tgt.node is not None:
+                tgt = tgt.node
+            else:
+                if not tgt.t.requires_grad:
+                    return None
+                if tgt.kind != "param":
+                    raise GraphUnsupported(
+                        "gradient for a non-parameter leaf tensor")
+                gbuf = tgt.t._grad_buf
+                if gbuf is None or gbuf.shape != tgt.t.data.shape:
+                    raise GraphUnsupported("parameter lacks a fused grad view")
+                key = id(tgt)
+                count = self._gcount.get(key, 0)
+                self._gcount[key] = count + 1
+                if count == 0:
+                    if id(tgt.t) not in self._seen_params:
+                        self._seen_params.add(id(tgt.t))
+                        self._param_grads.append((tgt.t, gbuf))
+                    self._gslot[key] = gbuf
+                return gbuf, count == 0
+        if not tgt.rg:
+            return None
+        key = id(tgt)
+        count = self._gcount.get(key, 0)
+        self._gcount[key] = count + 1
+        if count == 0:
+            slot = self._buf(tgt.shape)
+            self._gslot[key] = slot
+        return self._gslot[key], count == 0
+
+    def _grad_of(self, node: _Node):
+        slot = self._gslot.get(id(node))
+        if slot is None:
+            raise GraphUnsupported(f"node {node.op} reached with no gradient")
+        return slot
+
+    def _acc(self, tgt, val) -> None:
+        """Accumulate an already-computed contribution (copy or +=)."""
+        s = self._slot(tgt)
+        if s is None:
+            return
+        slot, first = s
+        self._emit(_kcopy if first else _kiadd, slot, val)
+
+    def _acc_uf(self, tgt, uf, args, shape) -> None:
+        """Accumulate ``uf(*args)`` (result ``shape``), fusing the first
+        write directly into the slot when shapes line up."""
+        s = self._slot(tgt)
+        if s is None:
+            return
+        slot, first = s
+        slot_shape = slot.shape if isinstance(slot, _Buf) else slot.shape
+        maker = _kuf1 if len(args) == 1 else _kuf2
+        if first and tuple(slot_shape) == tuple(shape):
+            self._emit(maker, uf, *args, slot)
+        else:
+            tmp = self._buf(shape)
+            self._emit(maker, uf, *args, tmp)
+            self._emit(_kiadd, slot, tmp)
+
+    def _unbroadcast(self, val, vshape, tshape):
+        """Compile ``tensor._unbroadcast`` into sum/reshape instructions."""
+        vshape, tshape = tuple(vshape), tuple(tshape)
+        if vshape == tshape:
+            return val
+        if len(vshape) < len(tshape):
+            raise GraphUnsupported("gradient ndim below target ndim")
+        extra = len(vshape) - len(tshape)
+        if extra:
+            out = self._buf(vshape[extra:])
+            self._emit(_ksum, val, tuple(range(extra)), False, out)
+            val, vshape = out, vshape[extra:]
+        axes = tuple(i for i, n in enumerate(tshape)
+                     if n == 1 and vshape[i] != 1)
+        if axes:
+            kshape = tuple(1 if i in axes else n for i, n in enumerate(vshape))
+            out = self._buf(kshape)
+            self._emit(_ksum, val, axes, True, out)
+            val, vshape = out, kshape
+        if vshape != tshape:
+            val = _View(val, lambda b: b.reshape(tshape), _is_contig(val))
+        return val
+
+    # -- forward emission ----------------------------------------------
+    def _forward(self) -> None:
+        for node in self.capture.nodes:
+            getattr(self, "_fwd_" + node.op)(node)
+
+    def _ew_out(self, node: _Node) -> _Buf:
+        """Output buffer for an elementwise node.
+
+        The elementwise-chain fuser: when an input is a single-consumer
+        arena buffer of the same shape whose value no backward kernel
+        needs, compute in place into it (ufuncs with ``out=`` aliasing a
+        same-shape operand are exact), collapsing the chain's
+        intermediates into one buffer.
+        """
+        if self.fuse:
+            for src in node.srcs:
+                cand = src.node
+                if (cand is not None
+                        and id(cand) not in self._saved
+                        and self._consumers.get(id(cand), 0) == 1
+                        and isinstance(cand.val, _Buf)
+                        and cand.val.shape == node.shape
+                        and cand.val.dtype == np.float32):
+                    self.fused_elementwise += 1
+                    return cand.val
+        return self._buf(node.shape)
+
+    def _reshaped(self, val, old_shape, new_shape):
+        """A reshape of ``val``: a bind-time view when contiguous, else a
+        materialised per-replay copy (exactly where eager numpy copies)."""
+        if _is_contig(val):
+            return _View(val, lambda b, s=tuple(new_shape): b.reshape(s), True)
+        out = self._buf(new_shape)
+        back = _View(out, lambda b, s=tuple(old_shape): b.reshape(s), True)
+        self._emit(_kcopy, back, val)
+        return out
+
+    def _leaf_array(self, src: _Src) -> np.ndarray:
+        v = self._value(src)
+        if not isinstance(v, np.ndarray) or not v.flags["C_CONTIGUOUS"]:
+            raise GraphUnsupported(f"{src.kind} operand is not a contiguous "
+                                   "leaf array")
+        return v
+
+    def _fwd_add(self, node):
+        a, b = (self._value(s) for s in node.srcs)
+        out = self._ew_out(node)
+        self._emit(_kuf2, np.add, a, b, out)
+        node.val = out
+
+    def _fwd_neg(self, node):
+        out = self._ew_out(node)
+        self._emit(_kuf1, np.negative, self._value(node.srcs[0]), out)
+        node.val = out
+
+    def _fwd_mul(self, node):
+        a, b = (self._value(s) for s in node.srcs)
+        out = self._ew_out(node)
+        self._emit(_kuf2, np.multiply, a, b, out)
+        node.val = out
+
+    def _fwd_div(self, node):
+        a, b = (self._value(s) for s in node.srcs)
+        out = self._ew_out(node)
+        self._emit(_kuf2, np.divide, a, b, out)
+        node.val = out
+
+    def _fwd_pow(self, node):
+        out = self._ew_out(node)
+        self._emit(_kuf2, np.power, self._value(node.srcs[0]),
+                   node.ctx["exponent"], out)
+        node.val = out
+
+    def _fwd_matmul(self, node):
+        a, b = (self._value(s) for s in node.srcs)
+        out = self._buf(node.shape)
+        self._emit(_kmatmul, a, b, out)
+        node.val = out
+
+    def _fwd_sum(self, node):
+        out = self._buf(node.shape)
+        self._emit(_ksum, self._value(node.srcs[0]), node.ctx["axis"],
+                   node.ctx["keepdims"], out)
+        node.val = out
+
+    def _fwd_reshape(self, node):
+        src = node.srcs[0]
+        node.val = self._reshaped(self._value(src), src.shape, node.shape)
+
+    def _fwd_transpose(self, node):
+        axes = tuple(node.ctx["axes"])
+        node.val = _View(self._value(node.srcs[0]),
+                         lambda b, ax=axes: b.transpose(ax), False)
+
+    def _fwd_getitem(self, node):
+        index = node.ctx["index"]
+        a = self._value(node.srcs[0])
+        if _basic_index(index):
+            node.val = _View(a, lambda b, i=index: b[i], False)
+        else:
+            out = self._buf(node.shape)
+            self._emit(_kfancy_get, out, a, index)
+            node.val = out
+
+    def _fwd_relu(self, node):
+        a = self._value(node.srcs[0])
+        mask = self._ded(node.shape, np.bool_)
+        out = self._ew_out(node)
+        self._emit(_kuf2, np.greater, a, 0, mask)
+        self._emit(_kuf2, np.multiply, a, mask, out)
+        node.aux["mask"] = mask
+        node.val = out
+
+    def _fwd_exp(self, node):
+        out = self._ew_out(node)
+        self._emit(_kuf1, np.exp, self._value(node.srcs[0]), out)
+        node.val = out
+
+    def _fwd_sqrt(self, node):
+        out = self._ew_out(node)
+        self._emit(_kuf1, np.sqrt, self._value(node.srcs[0]), out)
+        node.val = out
+
+    def _fwd_tanh(self, node):
+        out = self._ew_out(node)
+        self._emit(_kuf1, np.tanh, self._value(node.srcs[0]), out)
+        node.val = out
+
+    def _fwd_sigmoid(self, node):
+        a = self._value(node.srcs[0])
+        out = self._ew_out(node)
+        self._emit(_kuf1, np.negative, a, out)
+        self._emit(_kuf1, np.exp, out, out)
+        self._emit(_kuf2, np.add, out, 1.0, out)
+        self._emit(_kuf2, np.divide, 1.0, out, out)
+        node.val = out
+
+    def _fwd_pad2d(self, node):
+        p = node.ctx["padding"]
+        out = self._ded(node.shape, np.float32, zero=True)
+        inner = out[..., p:-p, p:-p]
+        self._emit(_kcopy, inner, self._value(node.srcs[0]))
+        node.val = out
+
+    def _fwd_dropout(self, node):
+        p = node.ctx["p"]
+        rng = node.ctx["rng"]
+        a = self._value(node.srcs[0])
+        r = self._ded(node.shape, np.float64)
+        mbool = self._ded(node.shape, np.bool_)
+        mask = self._buf(node.shape)
+        self._emit(_krng, rng, r)
+        self._emit(_kuf2, np.greater_equal, r, p, mbool)
+        self._emit(_kcopy, mask, mbool)
+        self._emit(_kuf2, np.divide, mask, 1.0 - p, mask)
+        out = self._ew_out(node)
+        self._emit(_kuf2, np.multiply, a, mask, out)
+        node.aux["mask"] = mask
+        node.val = out
+
+    def _fwd_conv2d(self, node):
+        x_src, w_src = node.srcs
+        xv = self._value(x_src)
+        wv = self._leaf_array(w_src)
+        kernel = node.ctx["kernel"]
+        stride = node.ctx["stride"]
+        groups = node.ctx["groups"]
+        n, c, h, w = x_src.shape
+        out_c = node.shape[1]
+        length = node.shape[2] * node.shape[3]
+        cols = self._buf((n, c * kernel * kernel, length))
+        self._emit(_kim2col, xv, kernel, stride, cols)
+        aux = node.aux
+        aux.update(n=n, c=c, out_c=out_c, length=length, kernel=kernel,
+                   stride=stride, groups=groups, cols=cols,
+                   x_shape=tuple(x_src.shape))
+        if groups == 1:
+            w_mat = wv.reshape(out_c, -1)
+            out3 = self._buf((n, out_c, length))
+            self._emit(_kmatmul, w_mat[None, :, :], cols, out3)
+            aux["w_mat"] = w_mat
+            node.val = _View(out3,
+                             lambda b, s=node.shape: b.reshape(s), True)
+        else:
+            gi = c // groups
+            go = out_c // groups
+            cols4 = _View(cols,
+                          lambda b, s=(n, groups, gi * kernel * kernel,
+                                       length): b.reshape(s), True)
+            w3 = wv.reshape(groups, go, -1)
+            out4 = self._buf((n, groups, go, length))
+            self._emit(_keinsum, "gok,ngkl->ngol", w3, cols4, out4)
+            aux.update(gi=gi, go=go, cols4=cols4, w3=w3)
+            node.val = _View(out4,
+                             lambda b, s=node.shape: b.reshape(s), True)
+
+    def _fwd_max_pool2d(self, node):
+        kernel = node.ctx["kernel"]
+        stride = node.ctx["stride"]
+        x_src = node.srcs[0]
+        n, c, h, w = x_src.shape
+        length = node.shape[2] * node.shape[3]
+        xr = self._reshaped(self._value(x_src), x_src.shape, (n * c, 1, h, w))
+        cols = self._buf((n * c, kernel * kernel, length))
+        self._emit(_kim2col, xr, kernel, stride, cols)
+        arg = self._ded((n * c, length), np.intp)
+        self._emit(_kargmax, cols, arg)
+        argv = arg[:, None, :]
+        out = self._buf(node.shape)
+        outv = _View(out, lambda b, s=(n * c, 1, length): b.reshape(s), True)
+        self._emit(_ktake, cols, argv, outv)
+        node.aux.update(kernel=kernel, stride=stride, n=n, c=c, h=h, w=w,
+                        length=length, argv=argv)
+        node.val = out
+
+    def _fwd_avg_pool2d(self, node):
+        kernel = node.ctx["kernel"]
+        stride = node.ctx["stride"]
+        x_src = node.srcs[0]
+        n, c, h, w = x_src.shape
+        length = node.shape[2] * node.shape[3]
+        xr = self._reshaped(self._value(x_src), x_src.shape, (n * c, 1, h, w))
+        cols = self._buf((n * c, kernel * kernel, length))
+        self._emit(_kim2col, xr, kernel, stride, cols)
+        out = self._buf(node.shape)
+        outv = _View(out, lambda b, s=(n * c, length): b.reshape(s), True)
+        self._emit(_kmean, cols, 1, outv)
+        node.aux.update(kernel=kernel, stride=stride, n=n, c=c, h=h, w=w,
+                        length=length)
+        node.val = out
+
+    def _fwd_batch_norm(self, node):
+        if not node.ctx["training"]:
+            raise GraphUnsupported("batch_norm captured in eval mode")
+        x_src, w_src, b_src = node.srcs
+        xv = self._value(x_src)
+        wv = self._leaf_array(w_src)
+        bv = self._leaf_array(b_src)
+        ndim = len(x_src.shape)
+        axes = (0,) if ndim == 2 else (0, 2, 3)
+        ch = x_src.shape[1]
+        rshape = (1, ch) if ndim == 2 else (1, ch, 1, 1)
+        rm = node.ctx["running_mean"]
+        rv = node.ctx["running_var"]
+        momentum = node.ctx["momentum"]
+        eps = node.ctx["eps"]
+
+        meanb = self._buf((ch,))
+        self._emit(_kmean, xv, axes, meanb)
+        varb = self._buf((ch,))
+        self._emit(_kvar, xv, axes, varb)
+        tmpc = self._buf((ch,))
+        self._emit(_krunning, rm, tmpc, meanb, momentum)
+        self._emit(_krunning, rv, tmpc, varb, momentum)
+        invstd = self._buf((ch,))
+        self._emit(_kuf2, np.add, varb, eps, invstd)
+        self._emit(_kuf1, np.sqrt, invstd, invstd)
+        self._emit(_kuf2, np.divide, 1.0, invstd, invstd)
+        mean_r = _View(meanb, lambda b, s=rshape: b.reshape(s), True)
+        invstd_r = _View(invstd, lambda b, s=rshape: b.reshape(s), True)
+        xhat = self._buf(node.shape)
+        self._emit(_kuf2, np.subtract, xv, mean_r, xhat)
+        self._emit(_kuf2, np.multiply, xhat, invstd_r, xhat)
+        w_r = wv.reshape(rshape)
+        b_r = bv.reshape(rshape)
+        out = self._buf(node.shape)
+        self._emit(_kuf2, np.multiply, xhat, w_r, out)
+        self._emit(_kuf2, np.add, out, b_r, out)
+        count = int(np.prod(x_src.shape)) // x_src.shape[1 if ndim > 1 else 0]
+        node.aux.update(xhat=xhat, invstd_r=invstd_r, w_r=w_r, axes=axes,
+                        count=count,
+                        kshape=tuple(1 if i in axes else d
+                                     for i, d in enumerate(node.shape)))
+        node.val = out
+
+    def _fwd_log_softmax(self, node):
+        axis = node.ctx["axis"]
+        xv = self._value(node.srcs[0])
+        kshape = list(node.shape)
+        kshape[axis] = 1
+        kshape = tuple(kshape)
+        mx = self._buf(kshape)
+        self._emit(_kamax, xv, axis, mx)
+        sh = self._buf(node.shape)
+        self._emit(_kuf2, np.subtract, xv, mx, sh)
+        soft = self._buf(node.shape)
+        self._emit(_kuf1, np.exp, sh, soft)
+        sb = self._buf(kshape)
+        self._emit(_ksum, soft, axis, True, sb)
+        self._emit(_kuf1, np.log, sb, sb)
+        out = self._buf(node.shape)
+        self._emit(_kuf2, np.subtract, sh, sb, out)
+        self._emit(_kuf1, np.exp, out, soft)
+        node.aux.update(soft=soft, axis=axis, kshape=kshape)
+        node.val = out
+
+    def _fwd_cross_entropy(self, node):
+        if node.ctx["targets"] is not self.capture.targets:
+            raise GraphUnsupported("cross_entropy targets are not the step's "
+                                   "target batch")
+        logits_src = node.srcs[0]
+        if len(logits_src.shape) != 2:
+            raise GraphUnsupported("cross_entropy needs 2-d logits")
+        lv = self._value(logits_src)
+        n, num_classes = logits_src.shape
+        rows = np.arange(n)
+        mx = self._buf((n, 1))
+        self._emit(_kamax, lv, -1, mx)
+        sh = self._buf((n, num_classes))
+        self._emit(_kuf2, np.subtract, lv, mx, sh)
+        soft = self._buf((n, num_classes))
+        self._emit(_kuf1, np.exp, sh, soft)
+        sb = self._buf((n, 1))
+        self._emit(_ksum, soft, -1, True, sb)
+        self._emit(_kuf1, np.log, sb, sb)
+        lp = self._buf((n, num_classes))
+        self._emit(_kuf2, np.subtract, sh, sb, lp)
+        self._emit(_kuf1, np.exp, lp, soft)
+        loss = self._ded((), np.float32)
+        inv_n = np.float32(1.0 / float(n))
+        self._emit(_kce_loss, lp, rows, self.y_buf, inv_n, loss)
+        node.aux.update(soft=soft, rows=rows, inv_n=inv_n, n=n,
+                        num_classes=num_classes)
+        node.val = loss
+
+    # -- backward emission ---------------------------------------------
+    def _backward_order(self):
+        order = []
+        visited: set[int] = set()
+        stack: list[tuple[object, bool]] = [(self.loss_node, False)]
+        while stack:
+            unit, processed = stack.pop()
+            if processed:
+                order.append(unit)
+                continue
+            if id(unit) in visited:
+                continue
+            visited.add(id(unit))
+            stack.append((unit, True))
+            if isinstance(unit, _Node) and unit.rg:
+                for src in unit.srcs:
+                    child = src.node if src.node is not None else src
+                    if id(child) not in visited:
+                        stack.append((child, False))
+        return order
+
+    def _backward(self) -> None:
+        ones = np.ones((), dtype=np.float32)
+        self._ded_bytes += ones.nbytes
+        self._gslot[id(self.loss_node)] = ones
+        self._gcount[id(self.loss_node)] = 1
+        for unit in reversed(self._backward_order()):
+            if not isinstance(unit, _Node) or not unit.rg:
+                continue
+            getattr(self, "_bwd_" + unit.op)(unit, self._grad_of(unit))
+
+    def _acc_sum(self, tgt, val, axes, keepdims, shape) -> None:
+        s = self._slot(tgt)
+        if s is None:
+            return
+        slot, first = s
+        if first and tuple(slot.shape) == tuple(shape):
+            self._emit(_ksum, val, axes, keepdims, slot)
+        else:
+            tmp = self._buf(shape)
+            self._emit(_ksum, val, axes, keepdims, tmp)
+            self._emit(_kiadd, slot, tmp)
+
+    def _acc_mm(self, tgt, a, b, shape) -> None:
+        s = self._slot(tgt)
+        if s is None:
+            return
+        slot, first = s
+        if first and tuple(slot.shape) == tuple(shape):
+            self._emit(_kmatmul, a, b, slot)
+        else:
+            tmp = self._buf(shape)
+            self._emit(_kmatmul, a, b, tmp)
+            self._emit(_kiadd, slot, tmp)
+
+    def _bwd_add(self, node, g):
+        for src in node.srcs:
+            if src.requires_grad:
+                self._acc(src, self._unbroadcast(g, node.shape, src.shape))
+
+    def _bwd_neg(self, node, g):
+        src = node.srcs[0]
+        if src.requires_grad:
+            self._acc_uf(src, np.negative, (g,), node.shape)
+
+    def _contrib_mul(self, tgt, g, other, gshape) -> None:
+        if tuple(tgt.shape) == tuple(gshape):
+            self._acc_uf(tgt, np.multiply, (g, other), gshape)
+        else:
+            tmp = self._buf(gshape)
+            self._emit(_kuf2, np.multiply, g, other, tmp)
+            self._acc(tgt, self._unbroadcast(tmp, gshape, tgt.shape))
+
+    def _bwd_mul(self, node, g):
+        s0, s1 = node.srcs
+        if s0.requires_grad:
+            self._contrib_mul(s0, g, self._value(s1), node.shape)
+        if s1.requires_grad:
+            self._contrib_mul(s1, g, self._value(s0), node.shape)
+
+    def _bwd_div(self, node, g):
+        s0, s1 = node.srcs
+        if s0.requires_grad:
+            v1 = self._value(s1)
+            if tuple(s0.shape) == tuple(node.shape):
+                self._acc_uf(s0, np.divide, (g, v1), node.shape)
+            else:
+                tmp = self._buf(node.shape)
+                self._emit(_kuf2, np.divide, g, v1, tmp)
+                self._acc(s0, self._unbroadcast(tmp, node.shape, s0.shape))
+        if s1.requires_grad:
+            t = self._buf(node.shape)
+            self._emit(_kuf1, np.negative, g, t)
+            self._emit(_kuf2, np.multiply, t, self._value(s0), t)
+            t2 = self._buf(s1.shape)
+            self._emit(_kuf2, np.power, self._value(s1), 2, t2)
+            self._emit(_kuf2, np.divide, t, t2, t)
+            self._acc(s1, self._unbroadcast(t, node.shape, s1.shape))
+
+    def _bwd_pow(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        e = node.ctx["exponent"]
+        t = self._buf(node.shape)
+        self._emit(_kuf2, np.multiply, g, e, t)
+        t2 = self._buf(node.shape)
+        self._emit(_kuf2, np.power, self._value(src), e - 1, t2)
+        self._emit(_kuf2, np.multiply, t, t2, t)
+        self._acc(src, t)
+
+    def _bwd_matmul(self, node, g):
+        s0, s1 = node.srcs
+        if len(s0.shape) < 2 or len(s1.shape) < 2:
+            raise GraphUnsupported("matmul backward needs >=2-d operands")
+        if s0.requires_grad:
+            sw = _View(self._value(s1),
+                       lambda b: np.swapaxes(b, -1, -2), False)
+            pshape = _matmul_shape(tuple(node.shape), _swap_shape(s1.shape))
+            if pshape == tuple(s0.shape):
+                self._acc_mm(s0, g, sw, pshape)
+            else:
+                tmp = self._buf(pshape)
+                self._emit(_kmatmul, g, sw, tmp)
+                self._acc(s0, self._unbroadcast(tmp, pshape, s0.shape))
+        if s1.requires_grad:
+            sw = _View(self._value(s0),
+                       lambda b: np.swapaxes(b, -1, -2), False)
+            pshape = _matmul_shape(_swap_shape(s0.shape), tuple(node.shape))
+            if pshape == tuple(s1.shape):
+                self._acc_mm(s1, sw, g, pshape)
+            else:
+                tmp = self._buf(pshape)
+                self._emit(_kmatmul, sw, g, tmp)
+                self._acc(s1, self._unbroadcast(tmp, pshape, s1.shape))
+
+    def _bwd_sum(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        axis = node.ctx["axis"]
+        keepdims = node.ctx["keepdims"]
+        gv = g
+        if axis is not None and not keepdims:
+            gv = _View(g, lambda b, ax=axis: np.expand_dims(b, ax),
+                       _is_contig(g))
+        self._acc(src, gv)
+
+    def _bwd_reshape(self, node, g):
+        src = node.srcs[0]
+        if src.requires_grad:
+            gv = _View(g, lambda b, s=tuple(src.shape): b.reshape(s), True)
+            self._acc(src, gv)
+
+    def _bwd_transpose(self, node, g):
+        src = node.srcs[0]
+        if src.requires_grad:
+            inverse = node.ctx["inverse"]
+            gv = _View(g, lambda b, ax=inverse: b.transpose(ax), False)
+            self._acc(src, gv)
+
+    def _bwd_getitem(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        index = node.ctx["index"]
+        full = self._ded(src.shape, np.float32, zero=True)
+        if _basic_index(index):
+            # static single-write region: assignment into the once-zeroed
+            # buffer equals np.add.at on fresh zeros
+            self._emit(_kfill, full, g, index)
+        else:
+            self._emit(_kscatter_add, full, index, g)
+        self._acc(src, full)
+
+    def _bwd_relu(self, node, g):
+        src = node.srcs[0]
+        if src.requires_grad:
+            self._acc_uf(src, np.multiply, (g, node.aux["mask"]), node.shape)
+
+    def _bwd_exp(self, node, g):
+        src = node.srcs[0]
+        if src.requires_grad:
+            self._acc_uf(src, np.multiply, (g, node.val), node.shape)
+
+    def _bwd_sqrt(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        t = self._buf(node.shape)
+        self._emit(_kuf2, np.multiply, g, 0.5, t)
+        self._emit(_kuf2, np.divide, t, node.val, t)
+        self._acc(src, t)
+
+    def _bwd_tanh(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        t = self._buf(node.shape)
+        self._emit(_kuf2, np.power, node.val, 2, t)
+        self._emit(_kuf2, np.subtract, 1.0, t, t)
+        self._emit(_kuf2, np.multiply, g, t, t)
+        self._acc(src, t)
+
+    def _bwd_sigmoid(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        t1 = self._buf(node.shape)
+        self._emit(_kuf2, np.multiply, g, node.val, t1)
+        t2 = self._buf(node.shape)
+        self._emit(_kuf2, np.subtract, 1.0, node.val, t2)
+        self._emit(_kuf2, np.multiply, t1, t2, t1)
+        self._acc(src, t1)
+
+    def _bwd_pad2d(self, node, g):
+        src = node.srcs[0]
+        if src.requires_grad:
+            p = node.ctx["padding"]
+            gv = _View(g, lambda b, q=p: b[..., q:-q, q:-q], False)
+            self._acc(src, gv)
+
+    def _bwd_dropout(self, node, g):
+        src = node.srcs[0]
+        if src.requires_grad:
+            self._acc_uf(src, np.multiply, (g, node.aux["mask"]), node.shape)
+
+    def _bwd_conv2d(self, node, g):
+        x_src, w_src = node.srcs
+        aux = node.aux
+        n = aux["n"]
+        length = aux["length"]
+        cols = aux["cols"]
+        if aux["groups"] == 1:
+            gmat = _View(g, lambda b, s=(n, aux["out_c"], length):
+                         b.reshape(s), True)
+            if w_src.requires_grad:
+                s = self._slot(w_src)
+                if s is not None:
+                    slot, first = s
+                    w2 = slot.reshape(aux["out_c"], -1)
+                    if first:
+                        self._emit(_keinsum, "nol,nkl->ok", gmat, cols, w2)
+                    else:
+                        tmp = self._buf(w2.shape)
+                        self._emit(_keinsum, "nol,nkl->ok", gmat, cols, tmp)
+                        self._emit(_kiadd, w2, tmp)
+            if x_src.requires_grad:
+                gcols = self._buf(cols.shape)
+                w_t3 = aux["w_mat"].T[None, :, :]
+                self._emit(_kmatmul, w_t3, gmat, gcols)
+                gx = self._buf(x_src.shape)
+                self._emit(_kcol2im, gcols, aux["x_shape"], aux["kernel"],
+                           aux["stride"], gx)
+                self._acc(x_src, gx)
+        else:
+            groups = aux["groups"]
+            go = aux["go"]
+            gik2 = aux["gi"] * aux["kernel"] * aux["kernel"]
+            gmat4 = _View(g, lambda b, s=(n, groups, go, length):
+                          b.reshape(s), True)
+            cols4 = aux["cols4"]
+            if w_src.requires_grad:
+                s = self._slot(w_src)
+                if s is not None:
+                    slot, first = s
+                    w3view = slot.reshape(groups, go, -1)
+                    if first:
+                        self._emit(_keinsum, "ngol,ngkl->gok", gmat4, cols4,
+                                   w3view)
+                    else:
+                        tmp = self._buf(w3view.shape)
+                        self._emit(_keinsum, "ngol,ngkl->gok", gmat4, cols4,
+                                   tmp)
+                        self._emit(_kiadd, w3view, tmp)
+            if x_src.requires_grad:
+                gcols4 = self._buf((n, groups, gik2, length))
+                self._emit(_keinsum, "gok,ngol->ngkl", aux["w3"], gmat4,
+                           gcols4)
+                gflat = _View(gcols4, lambda b, s=(n, cols.shape[1], length):
+                              b.reshape(s), True)
+                gx = self._buf(x_src.shape)
+                self._emit(_kcol2im, gflat, aux["x_shape"], aux["kernel"],
+                           aux["stride"], gx)
+                self._acc(x_src, gx)
+
+    def _bwd_max_pool2d(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        aux = node.aux
+        n, c, h, w = aux["n"], aux["c"], aux["h"], aux["w"]
+        k = aux["kernel"]
+        length = aux["length"]
+        gcols = self._buf((n * c, k * k, length))
+        gv = _View(g, lambda b, s=(n * c, 1, length): b.reshape(s), True)
+        self._emit(_kput, gcols, aux["argv"], gv)
+        gx = self._buf((n * c, 1, h, w))
+        self._emit(_kcol2im, gcols, (n * c, 1, h, w), k, aux["stride"], gx)
+        gxr = _View(gx, lambda b, s=tuple(src.shape): b.reshape(s), True)
+        self._acc(src, gxr)
+
+    def _bwd_avg_pool2d(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        aux = node.aux
+        n, c, h, w = aux["n"], aux["c"], aux["h"], aux["w"]
+        k = aux["kernel"]
+        length = aux["length"]
+        scale = 1.0 / (k * k)
+        gcols = self._buf((n * c, k * k, length))
+        gv = _View(g, lambda b, s=(n * c, 1, length): b.reshape(s), True)
+        self._emit(_kuf2, np.multiply, gv, scale, gcols)
+        gx = self._buf((n * c, 1, h, w))
+        self._emit(_kcol2im, gcols, (n * c, 1, h, w), k, aux["stride"], gx)
+        gxr = _View(gx, lambda b, s=tuple(src.shape): b.reshape(s), True)
+        self._acc(src, gxr)
+
+    def _bwd_batch_norm(self, node, g):
+        x_src, w_src, b_src = node.srcs
+        aux = node.aux
+        axes = aux["axes"]
+        xhat = aux["xhat"]
+        kshape = aux["kshape"]
+        ch = node.shape[1]
+        if b_src.requires_grad:
+            self._acc_sum(b_src, g, axes, False, (ch,))
+        if w_src.requires_grad:
+            tb = self._buf(node.shape)
+            self._emit(_kuf2, np.multiply, g, xhat, tb)
+            self._acc_sum(w_src, tb, axes, False, (ch,))
+        if x_src.requires_grad:
+            count = aux["count"]
+            gx = self._buf(node.shape)
+            self._emit(_kuf2, np.multiply, g, aux["w_r"], gx)
+            gsum = self._buf(kshape)
+            self._emit(_ksum, gx, axes, True, gsum)
+            tb2 = self._buf(node.shape)
+            self._emit(_kuf2, np.multiply, gx, xhat, tb2)
+            gdot = self._buf(kshape)
+            self._emit(_ksum, tb2, axes, True, gdot)
+            self._emit(_kuf2, np.divide, gsum, count, gsum)
+            self._emit(_kuf2, np.subtract, gx, gsum, gx)
+            # eager computes ``x_hat * grad_dot / count`` which associates
+            # left-to-right as (x_hat * grad_dot) / count; dividing
+            # grad_dot first only matches bitwise when count is a power
+            # of two, so replicate the exact association.
+            self._emit(_kuf2, np.multiply, xhat, gdot, tb2)
+            self._emit(_kuf2, np.divide, tb2, count, tb2)
+            self._emit(_kuf2, np.subtract, gx, tb2, gx)
+            self._emit(_kuf2, np.multiply, gx, aux["invstd_r"], gx)
+            self._acc(x_src, gx)
+
+    def _bwd_log_softmax(self, node, g):
+        src = node.srcs[0]
+        if not src.requires_grad:
+            return
+        aux = node.aux
+        gs = self._buf(aux["kshape"])
+        self._emit(_ksum, g, aux["axis"], True, gs)
+        tb = self._buf(node.shape)
+        self._emit(_kuf2, np.multiply, aux["soft"], gs, tb)
+        self._emit(_kuf2, np.subtract, g, tb, tb)
+        self._acc(src, tb)
+
+    def _bwd_cross_entropy(self, node, g):
+        logits_src = node.srcs[0]
+        if not logits_src.requires_grad:
+            return
+        aux = node.aux
+        shape = (aux["n"], aux["num_classes"])
+        s = self._slot(logits_src)
+        if s is None:
+            return
+        slot, first = s
+        gl = slot if first else self._buf(shape)
+        tmp = self._buf(shape)
+        self._emit(_kce_grad, g, aux["inv_n"], gl, aux["rows"], self.y_buf,
+                   aux["soft"], tmp)
+        if not first:
+            self._emit(_kiadd, slot, gl)
+
+    # -- bind ----------------------------------------------------------
+    def build(self) -> "_Program":
+        self._forward()
+        self._backward()
+        arena_bytes = _pack_arena(self._bufs)
+        arena = np.empty(max(arena_bytes // 4, 1), dtype=np.float32)
+        for buf in self._bufs:
+            n = 1
+            for d in buf.shape:
+                n *= d
+            start = buf.offset // 4
+            buf.array = arena[start:start + n].reshape(buf.shape)
+        closures = tuple(entry[0](*[_resolve(a) for a in entry[1:]])
+                         for entry in self._instrs)
+        loss_arr = _resolve(self.loss_node.val)
+        if not isinstance(loss_arr, np.ndarray) or loss_arr.size != 1:
+            raise GraphUnsupported("loss is not a scalar buffer")
+        naive = sum(-(-b.nbytes // _ALIGN) * _ALIGN for b in self._bufs)
+        return _Program(
+            closures=closures, arena=arena, x_buf=self.x_buf,
+            y_buf=self.y_buf, loss=loss_arr, param_grads=self._param_grads,
+            stats={
+                "nodes": len(self.capture.nodes),
+                "instrs": len(closures),
+                "arena_bytes": arena_bytes,
+                "naive_bytes": naive,
+                "dedicated_bytes": self._ded_bytes,
+                "fused_elementwise": self.fused_elementwise,
+            })
+
+
+def _swap_shape(shape) -> tuple[int, ...]:
+    shape = tuple(shape)
+    return shape[:-2] + (shape[-1], shape[-2])
+
+
+def _matmul_shape(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    if len(a) < 2 or len(b) < 2:
+        raise GraphUnsupported("matmul shape inference needs >=2-d")
+    return tuple(np.broadcast_shapes(a[:-2], b[:-2])) + (a[-2], b[-1])
+
+
+def _basic_index(index) -> bool:
+    items = index if isinstance(index, tuple) else (index,)
+    return all(
+        item is None or item is Ellipsis
+        or isinstance(item, (int, np.integer, slice))
+        for item in items)
+
+
+def _resolve(v):
+    if isinstance(v, _Buf):
+        return v.array
+    if isinstance(v, _View):
+        if v.arr is None:
+            v.arr = v.fn(_resolve(v.base))
+        return v.arr
+    return v
+
+
+# ---------------------------------------------------------------------------
+# Program + executor
+# ---------------------------------------------------------------------------
+
+class _Program:
+    """A bound, replayable training step."""
+
+    __slots__ = ("_closures", "_arena", "_x_buf", "_y_buf", "_loss",
+                 "_param_grads", "stats")
+
+    def __init__(self, closures, arena, x_buf, y_buf, loss, param_grads,
+                 stats):
+        self._closures = closures
+        self._arena = arena
+        self._x_buf = x_buf
+        self._y_buf = y_buf
+        self._loss = loss
+        self._param_grads = tuple(param_grads)
+        self.stats = stats
+
+    def replay(self, x, y, optimizer, model) -> float:
+        model.train()
+        np.copyto(self._x_buf, x)
+        np.copyto(self._y_buf, y)
+        for run in self._closures:
+            run()
+        for param, gbuf in self._param_grads:
+            param.grad = gbuf
+        optimizer.step()
+        return float(self._loss)
+
+
+def compile_program(capture: GraphCapture, loss: Tensor,
+                    fuse: bool = True) -> _Program:
+    """Compile a :class:`GraphCapture` into a replayable ``_Program``.
+
+    Raises :class:`GraphUnsupported` when the step cannot be replayed
+    bit-identically.
+    """
+    if capture.unsupported is not None:
+        raise GraphUnsupported(f"unsupported op: {capture.unsupported}")
+    loss_node = capture.by_id.get(id(loss))
+    if loss_node is None:
+        raise GraphUnsupported("loss tensor was not produced by the capture")
+    return _Compiler(capture, loss_node, fuse).build()
+
+
+def _eager_step(model, optimizer, x, y) -> float:
+    """The eager interpreter step (mirrors ``fp32_train_step``)."""
+    model.train()
+    optimizer.zero_grad()
+    logits = model(Tensor(x))
+    loss = F.cross_entropy(logits, y)
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+_MISSING = object()
+
+
+class GraphExecutor:
+    """Trace-once/replay-many dispatcher for one model's training step.
+
+    Programs are keyed by input shape/dtype; per-step validity is the
+    flat buffer's intactness (faults-induced re-grouping or per-key
+    state loads rebind parameter storage, which invalidates every bound
+    view — all programs are dropped and the step falls back to eager).
+    """
+
+    def __init__(self, model, max_programs: int = 8, fuse: bool = True):
+        flat = model.flatten_parameters()
+        if flat is None:
+            raise GraphUnsupported("model has no fused flat parameter buffer")
+        self.model = model
+        self.flat = flat
+        self.max_programs = max_programs
+        self.fuse = fuse
+        self.stats = {"captures": 0, "replays": 0, "eager_steps": 0,
+                      "fallbacks": 0}
+        self._programs: dict[tuple, _Program | None] = {}
+
+    def step(self, optimizer, x, y) -> float:
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y)
+        key = (x.shape, y.shape, y.dtype.str)
+        prog = self._programs.get(key, _MISSING)
+        if prog is _MISSING:
+            if not self.flat.is_intact():
+                self.stats["fallbacks"] += 1
+                return _eager_step(self.model, optimizer, x, y)
+            if len(self._programs) >= self.max_programs:
+                self.stats["eager_steps"] += 1
+                return _eager_step(self.model, optimizer, x, y)
+            return self._capture_step(key, optimizer, x, y)
+        if prog is None:
+            self.stats["eager_steps"] += 1
+            return _eager_step(self.model, optimizer, x, y)
+        if not self.flat.is_intact():
+            # parameter storage was rebound under us: every bound view in
+            # every program is stale, not just this shape's
+            self._programs.clear()
+            self.stats["fallbacks"] += 1
+            return _eager_step(self.model, optimizer, x, y)
+        self.stats["replays"] += 1
+        return prog.replay(x, y, optimizer, self.model)
+
+    def _capture_step(self, key, optimizer, x, y) -> float:
+        x_t = Tensor(x)
+        capture = GraphCapture(x_t, y, self.flat.param_tensors)
+        tensor_mod._CAPTURE = capture
+        try:
+            self.model.train()
+            optimizer.zero_grad()
+            logits = self.model(x_t)
+            loss = F.cross_entropy(logits, y)
+            loss.backward()
+            optimizer.step()
+        finally:
+            tensor_mod._CAPTURE = None
+        loss_val = loss.item()
+        try:
+            prog = compile_program(capture, loss, fuse=self.fuse)
+        except GraphUnsupported:
+            prog = None
+        self._programs[key] = prog
+        if prog is None:
+            self.stats["fallbacks"] += 1
+        else:
+            self.stats["captures"] += 1
+        return loss_val
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.stats)
+
+    def program_stats(self) -> list[dict]:
+        return [p.stats for p in self._programs.values() if p is not None]
+
+
+def attach_graph_executor(model, max_programs: int = 8,
+                          fuse: bool = True) -> GraphExecutor | None:
+    """Attach a :class:`GraphExecutor` to ``model`` (idempotent).
+
+    ``fp32_train_step`` dispatches to it when present.  Returns ``None``
+    (leaving the model eager) when the model cannot flatten.
+    """
+    executor = getattr(model, "_graph_exec", None)
+    if executor is not None:
+        return executor
+    try:
+        executor = GraphExecutor(model, max_programs=max_programs, fuse=fuse)
+    except GraphUnsupported:
+        return None
+    model._graph_exec = executor
+    return executor
+
+
+def detach_graph_executor(model) -> None:
+    if getattr(model, "_graph_exec", None) is not None:
+        model._graph_exec = None

@@ -109,6 +109,25 @@ class Module:
                 self._flat = None
         return self._flat
 
+    def enable_graph_executor(self, max_programs: int = 8,
+                              fuse: bool = True):
+        """Attach a trace-once/replay-many step executor (idempotent).
+
+        Returns the :class:`~repro.nn.graph.GraphExecutor` now owned by
+        the module, or ``None`` when the module cannot flatten (the
+        training step stays eager).  ``fp32_train_step`` dispatches to
+        the executor when present; replayed steps are bit-identical to
+        the eager interpreter.
+        """
+        from .graph import attach_graph_executor
+        return attach_graph_executor(self, max_programs=max_programs,
+                                     fuse=fuse)
+
+    def disable_graph_executor(self) -> None:
+        """Drop the attached executor; every step runs eager again."""
+        from .graph import detach_graph_executor
+        detach_graph_executor(self)
+
     # -- state ----------------------------------------------------------
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
         flat = self._flat

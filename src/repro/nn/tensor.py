@@ -21,6 +21,12 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
 
+#: active :class:`repro.nn.graph.GraphRecorder` (or ``None``).  When set,
+#: every op built through :meth:`Tensor._make` reports itself to the
+#: recorder *after* computing its eager result, so capturing a step is
+#: bit-identical to running it uninstrumented.
+_CAPTURE = None
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -131,12 +137,15 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
+              backward: Callable[[np.ndarray], None],
+              op: str = "", ctx: dict | None = None) -> "Tensor":
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
             out._backward = backward
+        if _CAPTURE is not None:
+            _CAPTURE.record(op, out, parents, ctx)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -150,7 +159,14 @@ class Tensor:
                 np.copyto(buf, grad)
                 self.grad = buf
             else:
-                self.grad = grad.astype(np.float32, copy=True)
+                # Keep the freshly allocated copy as this tensor's gradient
+                # buffer so the next step (same shape) reuses it instead of
+                # allocating again.  order="C" so a gradient arriving as a
+                # transposed/sliced view is stored canonically — downstream
+                # reductions must not depend on the producer's layout.
+                buf = grad.astype(np.float32, order="C", copy=True)
+                self.grad = buf
+                self._grad_buf = buf
         else:
             self.grad += grad
 
@@ -198,7 +214,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad, self.shape))
             other._accumulate(_unbroadcast(grad, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, op="add")
 
     __radd__ = __add__
 
@@ -206,7 +222,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return self._make(-self.data, (self,), backward)
+        return self._make(-self.data, (self,), backward, op="neg")
 
     def __sub__(self, other) -> "Tensor":
         return self + (-self._coerce(other))
@@ -222,7 +238,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad * other.data, self.shape))
             other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, op="mul")
 
     __rmul__ = __mul__
 
@@ -235,7 +251,7 @@ class Tensor:
             other._accumulate(
                 _unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, op="div")
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other) / self
@@ -246,7 +262,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="pow",
+                          ctx={"exponent": exponent})
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -260,7 +277,7 @@ class Tensor:
                 other._accumulate(
                     _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, op="matmul")
 
     # ------------------------------------------------------------------
     # Reductions and shaping
@@ -274,7 +291,8 @@ class Tensor:
                 g = np.expand_dims(g, axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="sum",
+                          ctx={"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         count = self.size if axis is None else np.prod(
@@ -290,7 +308,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="reshape")
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -302,7 +320,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return self._make(self.data.transpose(axes), (self,), backward)
+        return self._make(self.data.transpose(axes), (self,), backward,
+                          op="transpose", ctx={"axes": axes, "inverse": inverse})
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -312,7 +331,8 @@ class Tensor:
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="getitem",
+                          ctx={"index": index})
 
     # ------------------------------------------------------------------
     # Elementwise non-linearities
@@ -323,7 +343,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return self._make(self.data * mask, (self,), backward)
+        return self._make(self.data * mask, (self,), backward, op="relu")
 
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
@@ -331,13 +351,13 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="exp")
 
     def log(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return self._make(np.log(self.data), (self,), backward)
+        return self._make(np.log(self.data), (self,), backward, op="log")
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -345,7 +365,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / out_data)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="sqrt")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -353,7 +373,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data ** 2))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="tanh")
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -361,7 +381,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="sigmoid")
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
@@ -369,7 +389,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return self._make(np.clip(self.data, low, high), (self,), backward)
+        return self._make(np.clip(self.data, low, high), (self,), backward,
+                          op="clip")
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
@@ -384,7 +405,7 @@ class Tensor:
             mask /= mask.sum(axis=axis, keepdims=True)
             self._accumulate(mask * g)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="max")
 
     # ------------------------------------------------------------------
     # Structural ops used by conv nets
@@ -400,7 +421,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad[..., p:-p, p:-p])
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="pad2d",
+                          ctx={"padding": padding})
 
     @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
@@ -415,4 +437,4 @@ class Tensor:
                 index[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(index)])
 
-        return Tensor._make(out_data, tensors, backward)
+        return Tensor._make(out_data, tensors, backward, op="concatenate")

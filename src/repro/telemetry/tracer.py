@@ -32,7 +32,7 @@ __all__ = ["SPAN_KINDS", "TraceRecord", "NullTracer", "Tracer"]
 SPAN_KINDS = frozenset({
     "compute", "allreduce", "leader_sync", "nic_wait", "checkpoint",
     "recovery", "fault", "dispatch", "update", "sync", "epoch",
-    "preemption", "job", "queue", "resize", "bucket_sync",
+    "preemption", "job", "queue", "resize", "bucket_sync", "graph_replay",
 })
 
 

@@ -1,0 +1,170 @@
+"""Differential harness: ``--graph`` may not move ANYTHING observable.
+
+The graph executor replays a compiled training step instead of
+re-interpreting the autograd tape, so a ``graph=True`` run must be a
+pure host-side optimisation: for every registered strategy (plus
+SoCFlow) it must produce
+
+- bit-identical learning: the same accuracy history and, for SoCFlow,
+  the byte-identical final state;
+- an identical simulated wall clock (the executor changes host time
+  only; simulated time prices the modelled cluster, which is
+  unchanged);
+- identical metrics except the ``graph.*`` counters the executor
+  itself contributes.
+
+The contract must survive worker processes, injected faults (whose
+re-grouping rebinds parameter storage and must invalidate captured
+programs mid-run, not corrupt them) and tracing.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster import (ClusterTopology, FaultSchedule, NicDegradation,
+                          SoCCrash)
+from repro.core import SoCFlow, SoCFlowOptions
+from repro.distributed import STRATEGY_REGISTRY, RunConfig, build_strategy
+from repro.telemetry import MetricsRegistry, Telemetry, Tracer
+
+METHODS = sorted(STRATEGY_REGISTRY) + ["socflow"]
+
+#: strategies that attach the executor to a host-side model when
+#: ``graph=True`` (hipress keeps its DGC gradient hook eager; every
+#: other method must still be bit-identical with the flag on, trivially)
+GRAPH_AWARE = {"local", "ps", "ring", "2d_paral", "fedavg", "t_fedavg",
+               "ssp", "socflow"}
+
+
+def base_config(tiny_task, **overrides):
+    kwargs = dict(
+        task=tiny_task, model_name="vgg11", width=0.15, batch_size=16,
+        lr=0.05, momentum=0.9, max_epochs=2, seed=0,
+        topology=ClusterTopology(num_socs=16),
+        sim_samples_per_epoch=50_000, sim_global_batch=64, num_groups=4)
+    kwargs.update(overrides)
+    return RunConfig(**kwargs)
+
+
+def run(config, method):
+    metrics = MetricsRegistry()
+    config = dataclasses.replace(
+        config, telemetry=Telemetry(metrics=metrics))
+    if method == "socflow":
+        result = SoCFlow(SoCFlowOptions()).train(config)
+    else:
+        result = build_strategy(method).train(config)
+    return result, metrics
+
+
+def non_graph_metrics(metrics):
+    """Every series except the executor's own ``graph.*`` counters."""
+    return [r for r in metrics.collect()
+            if not r["name"].startswith("graph.")]
+
+
+def assert_differential(ref, ref_metrics, graphed, graphed_metrics):
+    __tracer__ = "hide"
+    assert graphed.accuracy_history == ref.accuracy_history
+    assert graphed.epochs_run == ref.epochs_run
+    assert graphed.sim_time_s == ref.sim_time_s
+    assert graphed.breakdown == ref.breakdown
+    assert non_graph_metrics(graphed_metrics) == non_graph_metrics(
+        ref_metrics)
+    if "final_state" in ref.extra:
+        a, b = ref.extra["final_state"], graphed.extra["final_state"]
+        assert list(a) == list(b)
+        for key in a:
+            assert np.array_equal(a[key], b[key]), key
+
+
+@pytest.fixture(scope="module")
+def references(tiny_task):
+    """One eager (graph=False) run per method, shared across tests."""
+    return {method: run(base_config(tiny_task), method)
+            for method in METHODS}
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_graph_run_is_differentially_identical(references, tiny_task,
+                                               method):
+    ref, ref_metrics = references[method]
+    graphed, graphed_metrics = run(base_config(tiny_task, graph=True),
+                                   method)
+    assert_differential(ref, ref_metrics, graphed, graphed_metrics)
+
+
+@pytest.mark.parametrize("method", ["local", "ring"])
+def test_graph_stats_report_replays(tiny_task, method):
+    """The per-run report proves the compiled path actually ran: one
+    capture per shape, everything else replayed."""
+    graphed, graphed_metrics = run(base_config(tiny_task, graph=True),
+                                   method)
+    stats = graphed.extra["graph_stats"]
+    assert stats["captures"] >= 1
+    assert stats["replays"] > stats["captures"]
+    assert stats["fallbacks"] == 0
+    counters = {r["name"]: r["value"] for r in graphed_metrics.collect()
+                if r["name"].startswith("graph.")}
+    assert counters["graph.replays"] == stats["replays"]
+    assert counters["graph.captures"] == stats["captures"]
+
+
+def test_hipress_ignores_the_graph_flag(references, tiny_task):
+    """DGC mutates gradients between backward and optimizer.step; the
+    compiled program fuses those phases, so hipress must stay eager —
+    and therefore be *exactly* the eager run, graph stats included."""
+    ref, ref_metrics = references["hipress"]
+    graphed, graphed_metrics = run(base_config(tiny_task, graph=True),
+                                   "hipress")
+    assert_differential(ref, ref_metrics, graphed, graphed_metrics)
+    assert "graph_stats" not in graphed.extra
+
+
+def test_workers_remain_bit_identical_with_graph(references, tiny_task):
+    """SoCFlow with worker processes: each worker rebuilds its trainer
+    (and its executor) from the pickled config; results must match the
+    sequential graphed run, which matches eager."""
+    ref, _ = references["socflow"]
+    config = base_config(tiny_task, graph=True, workers=2)
+    graphed, _ = run(config, "socflow")
+    assert graphed.accuracy_history == ref.accuracy_history
+    assert graphed.sim_time_s == ref.sim_time_s
+    a, b = ref.extra["final_state"], graphed.extra["final_state"]
+    for key in a:
+        assert np.array_equal(a[key], b[key]), key
+
+
+@pytest.mark.parametrize("method", ["ring", "socflow"])
+def test_graph_runs_survive_faults_identically(tiny_task, method):
+    """Crash + NIC flap under ``continue``: SoCFlow's re-grouping
+    rebinds survivor parameter storage mid-run, which must invalidate
+    captured programs (fallback), never corrupt them."""
+    schedule = FaultSchedule((SoCCrash(1, 2),
+                              NicDegradation(1, 0, 0.25, recover_epoch=2)))
+    faulted = dict(fault_schedule=schedule, fault_mode="continue",
+                   max_epochs=3)
+    ref, ref_metrics = run(base_config(tiny_task, **faulted), method)
+    graphed, graphed_metrics = run(
+        base_config(tiny_task, graph=True, **faulted), method)
+    assert_differential(ref, ref_metrics, graphed, graphed_metrics)
+    assert graphed.extra.get("aborted", False) is False
+
+
+def test_tracing_does_not_perturb_graph_runs(references, tiny_task):
+    """The tracer observes the executor without changing it, and a
+    graphed run emits a ``graph_replay`` span carrying the stats."""
+    ref, _ = references["ring"]
+    config = base_config(tiny_task, graph=True)
+    traced_config = dataclasses.replace(
+        config, telemetry=Telemetry(tracer=Tracer(),
+                                    metrics=MetricsRegistry()))
+    traced = build_strategy("ring").train(traced_config)
+    assert traced.accuracy_history == ref.accuracy_history
+    assert traced.sim_time_s == ref.sim_time_s
+    spans = [r for r in traced_config.telemetry.tracer.records
+             if r.name == "graph_replay"]
+    assert len(spans) == 1
+    assert spans[0].args["replays"] == traced.extra["graph_stats"]["replays"]

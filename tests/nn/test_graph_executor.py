@@ -1,0 +1,202 @@
+"""Trace-once/replay-many graph executor: bit-identity and fallbacks.
+
+The executor's contract is absolute: a replayed step computes the
+*exact same bits* as the eager tape interpreter — same loss floats,
+same weights, same optimizer momentum — or it does not run at all
+(automatic fallback to eager).  These tests pin the contract on every
+registry model and exercise each fallback edge: shape changes,
+program-cache overflow, unsupported ops, and storage rebinding
+(what ``reform_groups`` does to a survivor model mid-run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import graph as graph_mod
+from repro.nn.graph import GraphExecutor, attach_graph_executor
+from repro.nn.models.registry import MODEL_REGISTRY, build_model
+from repro.nn.optim import SGD
+
+#: smallest geometry at which every registry model still builds
+SPECS = {
+    "lenet5": dict(in_channels=1, image_size=16, width=0.5),
+    "vgg11": dict(in_channels=3, image_size=16, width=0.25),
+    "resnet18": dict(in_channels=3, image_size=16, width=0.25),
+    "resnet50": dict(in_channels=3, image_size=16, width=0.25),
+    "mobilenet_v1": dict(in_channels=3, image_size=16, width=0.25),
+    "vit_tiny": dict(in_channels=3, image_size=16, width=0.5),
+}
+BATCH = 8
+
+
+def make(name, graph=False, **executor_kwargs):
+    kwargs = SPECS[name]
+    model = build_model(name, seed=3, num_classes=10, **kwargs)
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9,
+                    weight_decay=1e-4, flat=model.flatten_parameters())
+    executor = None
+    if graph:
+        executor = attach_graph_executor(model, **executor_kwargs)
+        assert isinstance(executor, GraphExecutor)
+    return model, optimizer, executor
+
+
+def batches(name, steps, batch=BATCH, seed=99):
+    kwargs = SPECS[name]
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        x = rng.standard_normal(
+            (batch, kwargs["in_channels"], kwargs["image_size"],
+             kwargs["image_size"])).astype(np.float32)
+        y = rng.integers(0, 10, size=batch)
+        yield x, y
+
+
+def train(name, steps=4, graph=False, batch=BATCH, **executor_kwargs):
+    model, optimizer, executor = make(name, graph=graph, **executor_kwargs)
+    losses = []
+    for x, y in batches(name, steps, batch=batch):
+        if executor is not None:
+            losses.append(executor.step(optimizer, x, y))
+        else:
+            losses.append(graph_mod._eager_step(model, optimizer, x, y))
+    return model, optimizer, executor, losses
+
+
+def assert_states_equal(a, b):
+    __tracer__ = "hide"
+    assert list(a) == list(b)
+    for key in a:
+        left, right = a[key], b[key]
+        if isinstance(left, list):           # SGD velocity buffers
+            assert len(left) == len(right), key
+            for i, (x, y) in enumerate(zip(left, right)):
+                assert np.array_equal(x, y), (key, i)
+        else:
+            assert np.array_equal(left, right), key
+
+
+def test_registry_is_covered():
+    assert set(SPECS) == set(MODEL_REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_replay_is_bit_identical_to_eager(name):
+    """Loss floats, weights, buffers and momentum all match exactly."""
+    eager_model, eager_opt, _, eager_losses = train(name)
+    graph_model, graph_opt, executor, graph_losses = train(name, graph=True)
+    assert graph_losses == eager_losses
+    assert_states_equal(eager_model.state_dict(), graph_model.state_dict())
+    assert_states_equal(eager_opt.state_dict(), graph_opt.state_dict())
+    # one capture, the rest replays, no fallbacks
+    assert executor.stats["captures"] == 1
+    assert executor.stats["replays"] == 3
+    assert executor.stats["fallbacks"] == 0
+    assert executor.stats["eager_steps"] == 0
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_arena_packs_tighter_than_dedicated_buffers(name):
+    _, _, executor, _ = train(name, steps=1, graph=True)
+    (stats,) = executor.program_stats()
+    assert 0 < stats["arena_bytes"] < stats["naive_bytes"]
+
+
+def test_elementwise_fusion_is_bit_identical():
+    """fuse=False must compute the same bits (fusion only aliases
+    buffers, never changes arithmetic); the ViT actually fuses."""
+    _, _, fused_exec, fused_losses = train("vit_tiny", graph=True)
+    unfused_model, unfused_opt, unfused_exec, unfused_losses = train(
+        "vit_tiny", graph=True, fuse=False)
+    assert fused_losses == unfused_losses
+    (fused_stats,) = fused_exec.program_stats()
+    (unfused_stats,) = unfused_exec.program_stats()
+    assert fused_stats["fused_elementwise"] > 0
+    assert unfused_stats["fused_elementwise"] == 0
+
+
+def test_shape_change_captures_a_second_program():
+    model, optimizer, executor = make("lenet5", graph=True)
+    for x, y in batches("lenet5", 2, batch=8):
+        loss_b8 = executor.step(optimizer, x, y)
+    for x, y in batches("lenet5", 2, batch=4):
+        loss_b4 = executor.step(optimizer, x, y)
+    assert executor.stats["captures"] == 2
+    assert executor.stats["replays"] == 2
+    assert len(executor.program_stats()) == 2
+    assert loss_b8 != loss_b4     # distinct programs really ran
+
+
+def test_program_cache_overflow_falls_back_to_eager():
+    """Past ``max_programs`` shapes, new shapes train eagerly — still
+    correct, never cached."""
+    model, optimizer, executor = make("lenet5", graph=True, max_programs=1)
+    for x, y in batches("lenet5", 2, batch=8):
+        executor.step(optimizer, x, y)
+    for x, y in batches("lenet5", 3, batch=4):
+        executor.step(optimizer, x, y)
+    assert executor.stats["captures"] == 1
+    assert executor.stats["replays"] == 1
+    assert executor.stats["eager_steps"] == 3
+    assert len(executor.program_stats()) == 1
+    # the overflow steps still trained: compare against an all-eager twin
+    twin_model, twin_opt, _ = make("lenet5")
+    for x, y in batches("lenet5", 2, batch=8):
+        graph_mod._eager_step(twin_model, twin_opt, x, y)
+    for x, y in batches("lenet5", 3, batch=4):
+        graph_mod._eager_step(twin_model, twin_opt, x, y)
+    assert_states_equal(twin_model.state_dict(), model.state_dict())
+
+
+def test_unsupported_op_falls_back_permanently(monkeypatch):
+    """An op outside the capture vocabulary marks the shape
+    permanently eager; training is unaffected."""
+    monkeypatch.setattr(graph_mod, "_SUPPORTED",
+                        graph_mod._SUPPORTED - {"relu"})
+    model, optimizer, executor, losses = train("lenet5", graph=True)
+    assert executor.stats["captures"] == 0
+    assert executor.stats["fallbacks"] == 1  # the failed capture attempt
+    assert executor.stats["eager_steps"] == 3
+    assert executor.program_stats() == []
+    _, _, _, eager_losses = train("lenet5")
+    assert losses == eager_losses
+
+
+def test_storage_rebinding_invalidates_programs():
+    """What ``reform_groups`` does: parameters get fresh storage, the
+    flat buffer is no longer intact, captured programs must die."""
+    model, optimizer, executor = make("lenet5", graph=True)
+    for x, y in batches("lenet5", 2):
+        executor.step(optimizer, x, y)
+    assert executor.stats["replays"] == 1
+    for param in model.parameters():
+        param.data = param.data.copy()       # rebind, values unchanged
+    (x, y), = batches("lenet5", 1)
+    executor.step(optimizer, x, y)
+    assert executor.stats["fallbacks"] >= 1
+    assert executor.program_stats() == []    # cache cleared
+
+
+def test_attach_is_idempotent_and_detach_restores_eager():
+    model, _, executor = make("lenet5", graph=True)
+    assert attach_graph_executor(model) is executor
+    assert model.enable_graph_executor() is executor
+    model.disable_graph_executor()
+    assert getattr(model, "_graph_exec", None) is None
+
+
+def test_fp32_train_step_dispatches_to_executor():
+    import repro.core  # noqa: F401 -- resolves the core<->distributed cycle
+    from repro.distributed.base import fp32_train_step
+
+    eager_model, eager_opt, _ = make("lenet5")
+    graph_model, graph_opt, executor = make("lenet5", graph=True)
+    for x, y in batches("lenet5", 3):
+        eager_loss = fp32_train_step(eager_model, eager_opt, x, y)
+        graph_loss = fp32_train_step(graph_model, graph_opt, x, y)
+        assert eager_loss == graph_loss
+    assert executor.stats["captures"] == 1
+    assert executor.stats["replays"] == 2
+    assert_states_equal(eager_model.state_dict(), graph_model.state_dict())
