@@ -1,0 +1,156 @@
+"""Extension: trace analysis — critical path, straggler skew, diffing.
+
+The acceptance bar for the analysis engine:
+
+- ``analyze report`` on a traced 60-SoC SoCFlow run accounts for at
+  least 99% of every epoch's simulated seconds across critical-path
+  plus off-path phase buckets;
+- ``analyze diff`` of an unfused vs fused trace of the same seed
+  reports the step-time win with per-phase attribution (the fused
+  run's visible sync shrinks; compute is untouched);
+- eager vs ``--graph`` traces of the same seed are timeline-identical
+  — the diff's only signal is the graph-executor note — because the
+  compiled executor replays the exact same simulated clock;
+- reports are deterministic: same seed twice renders byte-identical
+  text in every format.
+
+Writes the slowest-epoch markdown report to ``$BENCH_ANALYSIS_OUT``
+when set (CI uploads it as a workflow artifact).
+"""
+
+import os
+
+import pytest
+
+from conftest import print_block
+
+from repro.core import SoCFlow, SoCFlowOptions
+from repro.distributed import build_strategy
+from repro.cluster import FaultSchedule, SoCCrash
+from repro.telemetry import (MetricsRegistry, Telemetry, Tracer,
+                             analyze_records, diff_reports, render_diff,
+                             render_report)
+
+REPORT_ENV = "BENCH_ANALYSIS_OUT"
+NUM_SOCS = 60
+EPOCHS = 3
+
+
+def traced_run(suite, workload, method, *, num_socs=16, epochs=2,
+               **config_kwargs):
+    """One training run with the tracer on; returns (result, records)."""
+    telemetry = Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
+    config = suite.config(workload, num_socs=num_socs, max_epochs=epochs,
+                          telemetry=telemetry, **config_kwargs)
+    if method == "socflow":
+        result = SoCFlow(SoCFlowOptions()).train(config)
+    else:
+        result = build_strategy(method).train(config)
+    return result, list(telemetry.tracer.records)
+
+
+@pytest.fixture(scope="module")
+def sixty_soc_trace(suite):
+    """A 60-SoC SoCFlow run with a mid-run crash (recovery on path)."""
+    faults = FaultSchedule((SoCCrash(epoch=1, soc=7),))
+    result, records = traced_run(
+        suite, "lenet5_fmnist", "socflow", num_socs=NUM_SOCS,
+        epochs=EPOCHS, fault_schedule=faults)
+    return result, records
+
+
+def test_sixty_soc_coverage(benchmark, sixty_soc_trace):
+    result, records = benchmark.pedantic(
+        lambda: sixty_soc_trace, rounds=1, iterations=1)
+    report = analyze_records(records)
+    print_block(f"ext-7: critical-path report, {NUM_SOCS} SoCs",
+                render_report(report))
+
+    assert len(report.epochs) == EPOCHS
+    for window in report.epochs:
+        # the acceptance bar: >= 99% of each epoch's simulated seconds
+        # lands in a phase bucket (path + off-path), not "unattributed"
+        assert window.coverage >= 0.99, (window.label, window.coverage)
+        accounted = sum(window.phase_seconds.values())
+        assert accounted == pytest.approx(
+            window.seconds - window.unattributed_s)
+    # whole-trace coverage follows from the per-window bars
+    assert report.coverage >= 0.99
+    # the crash epoch put recovery on the critical path
+    crash_epoch = report.epochs[1]
+    assert "recovery" in crash_epoch.phase_seconds
+    assert any(seg.kind == "recovery" for seg in crash_epoch.path)
+    # every SoC that did work shows up in the busy ledger
+    assert len(crash_epoch.soc_busy) == NUM_SOCS - 1  # SoC 7 is dead
+
+    out = os.environ.get(REPORT_ENV)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(render_report(report, fmt="markdown"))
+
+
+def test_diff_attributes_fusion_win(benchmark, suite):
+    """Unfused vs fused PS on ResNet-18: the diff names the sync win."""
+    def compute():
+        eager, _ = traced_run(suite, "resnet18", "ps")
+        eager_records = _
+        fused, fused_records = traced_run(
+            suite, "resnet18", "ps", fusion_threshold_mb=4.0)
+        return eager, eager_records, fused, fused_records
+
+    eager, eager_records, fused, fused_records = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    assert fused.sim_time_s < eager.sim_time_s
+
+    diff = diff_reports(analyze_records(eager_records),
+                        analyze_records(fused_records))
+    print_block("ext-7: unfused vs fused PS resnet18",
+                render_diff(diff))
+
+    # the headline: a significant step-time win, B faster than A
+    assert diff.significant(diff.total)
+    assert diff.total.delta < 0
+    assert "faster" in diff.verdict
+    # attributed to sync: visible sync shrinks, compute does not move
+    sync = next(d for d in diff.phases if d.key == "sync")
+    assert sync.delta < 0
+    compute_delta = next((d for d in diff.phases if d.key == "compute"),
+                         None)
+    if compute_delta is not None:
+        assert abs(compute_delta.rel) < 0.01
+    # the hidden-sync estimator sees the newly overlapped comm
+    assert diff.hidden.delta > 0
+
+
+def test_graph_trace_is_timeline_identical(benchmark, suite):
+    """Eager vs --graph, same seed: byte-level clock equivalence."""
+    def compute():
+        eager, eager_records = traced_run(suite, "vgg11", "ring")
+        graph, graph_records = traced_run(suite, "vgg11", "ring",
+                                          graph=True)
+        return eager, eager_records, graph, graph_records
+
+    eager, eager_records, graph, graph_records = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    assert graph.sim_time_s == eager.sim_time_s
+    assert graph.accuracy_history == eager.accuracy_history
+
+    diff = diff_reports(analyze_records(eager_records),
+                        analyze_records(graph_records))
+    print_block("ext-7: eager vs graph ring vgg11", render_diff(diff))
+
+    assert not diff.significant(diff.total)
+    assert diff.total.delta == pytest.approx(0.0, abs=1e-6)
+    # the only structural signal is the graph-executor note
+    assert any("graph executor" in note for note in diff.notes)
+
+
+def test_reports_are_deterministic(suite):
+    """Same seed twice => byte-identical rendered reports."""
+    _, records_a = traced_run(suite, "lenet5_fmnist", "socflow", seed=3)
+    _, records_b = traced_run(suite, "lenet5_fmnist", "socflow", seed=3)
+    report_a = analyze_records(records_a)
+    report_b = analyze_records(records_b)
+    for fmt in ("table", "json", "markdown"):
+        assert render_report(report_a, fmt=fmt) \
+            == render_report(report_b, fmt=fmt)

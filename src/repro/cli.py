@@ -7,6 +7,10 @@ Commands
 ``jobs``      schedule a multi-tenant job file over the tidal trace
 ``list``      show available workloads, methods, presets and models
 ``trace``     print the tidal utilisation trace and idle windows
+``analyze``   diagnose exported traces: ``analyze report <trace.jsonl>``
+              prints the critical-path/straggler/anomaly report,
+              ``analyze diff <a.jsonl> <b.jsonl>`` compares two runs
+              phase-by-phase (``--format table|json|markdown``)
 
 ``run``/``compare`` accept ``--faults SPEC`` to inject unplanned
 faults: semicolon-separated clauses like
@@ -21,7 +25,9 @@ allreduce, leader sync, NIC waits, recovery, ...) and writes a Chrome
 ``chrome://tracing``/Perfetto trace (or a JSONL event log with
 ``--trace-format jsonl``); ``--metrics PATH`` writes the metrics
 registry as JSONL.  Either flag also prints the per-epoch breakdown
-table.  ``compare`` writes one file per method (``run.ring.json``).
+table, and traced runs print the live bottleneck summary at exit.
+Paths ending in ``.gz`` are gzip-compressed transparently.
+``compare`` writes one file per method (``run.ring.json``).
 
 Examples
 --------
@@ -35,6 +41,8 @@ Examples
     python -m repro.cli compare --workload resnet18 --methods ring,socflow
     python -m repro.cli jobs --spec examples/jobs.yaml --report report.json
     python -m repro.cli trace --threshold 0.25
+    python -m repro.cli analyze report run.jsonl.gz --format markdown
+    python -m repro.cli analyze diff eager.jsonl graph.jsonl
 """
 
 from __future__ import annotations
@@ -105,7 +113,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="print the tidal trace")
     trace.add_argument("--threshold", type=float, default=0.25)
     trace.add_argument("--seed", type=int, default=0)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="diagnose exported JSONL traces (critical path, stragglers, "
+             "run-vs-run diffs)")
+    analyze_sub = analyze.add_subparsers(dest="analyze_command",
+                                         required=True)
+    report = analyze_sub.add_parser(
+        "report", help="bottleneck report for one trace")
+    report.add_argument("trace_file", metavar="TRACE.jsonl",
+                        help="JSONL trace exported with --trace-format "
+                             "jsonl (.gz accepted)")
+    report.add_argument("--top", type=_positive_int, default=8,
+                        help="critical-path segments to show (default 8)")
+    _add_analyze_args(report)
+    diff = analyze_sub.add_parser(
+        "diff", help="compare two traces (A = baseline, B = new)")
+    diff.add_argument("trace_a", metavar="A.jsonl")
+    diff.add_argument("trace_b", metavar="B.jsonl")
+    diff.add_argument("--threshold", type=float, default=0.02,
+                      help="relative significance floor (default 0.02)")
+    _add_analyze_args(diff)
     return parser
+
+
+def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", default="table",
+                        choices=("table", "json", "markdown"),
+                        help="output format (default: table)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the rendered report to PATH instead "
+                             "of stdout")
 
 
 def _positive_int(value: str) -> int:
@@ -256,7 +295,12 @@ def _method_path(path: str, method: str) -> str:
 
 
 def _emit_telemetry(args, telemetry, out, method: str | None = None) -> None:
-    """Write trace/metrics files and print the per-epoch table."""
+    """Write trace/metrics files, print the per-epoch table and the
+    live bottleneck summary.
+
+    Analysis runs before the metrics file is written so any ``health.*``
+    anomaly series it emits land in the export.
+    """
     if telemetry is None:
         return
     if telemetry.epoch_rows:
@@ -264,6 +308,12 @@ def _emit_telemetry(args, telemetry, out, method: str | None = None) -> None:
             else "per-epoch breakdown"
         print(f"[{title}]", file=out)
         print(render_epoch_table(telemetry.epoch_rows), file=out)
+    if telemetry.tracer.enabled and len(telemetry.tracer.records):
+        from .telemetry import analyze_records
+        from .telemetry.analysis import render_live_summary
+        report = analyze_records(telemetry.tracer.records,
+                                 metrics=telemetry.metrics)
+        print(render_live_summary(report), file=out)
     if args.trace is not None:
         path = (args.trace if method is None
                 else _method_path(args.trace, method))
@@ -449,8 +499,32 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def cmd_analyze(args, out) -> int:
+    from .telemetry import analyze_trace, diff_reports
+    from .telemetry.analysis import render_diff, render_report
+    try:
+        if args.analyze_command == "report":
+            rendered = render_report(analyze_trace(args.trace_file),
+                                     fmt=args.format, top=args.top)
+        else:
+            diff = diff_reports(analyze_trace(args.trace_a),
+                                analyze_trace(args.trace_b),
+                                threshold=args.threshold)
+            rendered = render_diff(diff, fmt=args.format)
+    except (OSError, ValueError) as err:
+        print(f"analyze: {err}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(rendered)
+        print(f"analysis -> {args.out}", file=out)
+    else:
+        print(rendered, end="", file=out)
+    return 0
+
+
 _COMMANDS = {"run": cmd_run, "compare": cmd_compare, "jobs": cmd_jobs,
-             "list": cmd_list, "trace": cmd_trace}
+             "list": cmd_list, "trace": cmd_trace, "analyze": cmd_analyze}
 
 
 def main(argv: list[str] | None = None, out=None) -> int:

@@ -622,7 +622,8 @@ class SoCFlow(Strategy):
         if telemetry.tracer.enabled:
             telemetry.tracer.span(
                 "epoch", epoch_t0, seconds, name=f"epoch {epoch}",
-                accuracy=accuracy, num_groups=mapping.num_groups,
+                epoch=epoch, accuracy=accuracy,
+                num_groups=mapping.num_groups,
                 **({"alpha": alpha} if alpha is not None else {}))
         metrics = telemetry.metrics
         if metrics.enabled:

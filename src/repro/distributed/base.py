@@ -32,7 +32,8 @@ from ..nn.tensor import Tensor, no_grad
 from ..telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["RunConfig", "CostModel", "StrategyResult", "Strategy",
-           "make_model", "evaluate_accuracy", "fp32_train_step"]
+           "make_model", "evaluate_accuracy", "fp32_train_step",
+           "record_epoch_telemetry"]
 
 #: fraction of a step's compute window that layer-by-layer
 #: computing/communication overlap (§4.1 optimisation 1) can hide.
@@ -201,6 +202,44 @@ def flush_graph_stats(model: Module, cost: "CostModel",
             telemetry.metrics.counter(f"graph.{key}").inc(value)
     if telemetry.tracer.enabled:
         telemetry.tracer.span("graph_replay", cost.clock.now, 0.0, **stats)
+
+
+def record_epoch_telemetry(telemetry, cost: "CostModel", epoch: int,
+                           epoch_t0: float, phases0: dict,
+                           hidden0: float, accuracy: float) -> None:
+    """Per-epoch report row, ``epoch`` span, and epoch-level metrics.
+
+    The strategy-family sibling of SoCFlow's richer
+    ``_record_epoch_telemetry``: it marks the epoch window the analysis
+    engine (:mod:`repro.telemetry.analysis`) segments the timeline by,
+    and feeds the CLI per-epoch table for baseline runs.  ``phases0``
+    and ``hidden0`` are the clock breakdown / hidden-sync attribution
+    snapshots taken at the epoch's start.
+    """
+    phases1 = cost.clock.breakdown()
+    delta = {phase: phases1.get(phase, 0.0) - phases0.get(phase, 0.0)
+             for phase in phases1}
+    seconds = cost.clock.now - epoch_t0
+    hidden_s = cost.clock.attributed_breakdown().get("sync", 0.0) - hidden0
+    telemetry.record_epoch(
+        epoch=epoch, seconds=seconds,
+        compute_s=delta.get("compute", 0.0),
+        sync_s=delta.get("sync", 0.0),
+        hidden_s=hidden_s,
+        update_s=delta.get("update", 0.0),
+        recovery_s=delta.get("recovery") or None,
+        accuracy=accuracy,
+        retries=cost.fabric.total_retries)
+    if telemetry.tracer.enabled:
+        telemetry.tracer.span("epoch", epoch_t0, seconds,
+                              name=f"epoch {epoch}", epoch=epoch,
+                              accuracy=accuracy)
+    metrics = telemetry.metrics
+    if metrics.enabled:
+        metrics.counter("epochs").inc()
+        metrics.histogram("epoch.seconds").observe(seconds)
+        for phase, value in sorted(delta.items()):
+            metrics.counter("phase.seconds", phase=phase).inc(value)
 
 
 class CostModel:

@@ -17,7 +17,8 @@ from ..comm.primitives import average_states
 from ..data.loader import DataLoader, iid_partition
 from ..nn.optim import SGD
 from .base import (CostModel, RunConfig, Strategy, StrategyResult,
-                   evaluate_accuracy, fp32_train_step, make_model)
+                   evaluate_accuracy, fp32_train_step, make_model,
+                   record_epoch_telemetry)
 
 __all__ = ["FedAvg"]
 
@@ -78,10 +79,15 @@ class FedAvg(Strategy):
         compute_s = cost.compute_seconds(sim_shard, "cpu") * self.local_epochs
         sync_s = self.round_sync_seconds(cost)
 
+        telemetry = cost.telemetry
         history: list[float] = []
         state: dict = {}
         extra: dict = {}
         for epoch in range(config.max_epochs):
+            epoch_t0 = cost.clock.now
+            if telemetry.enabled:
+                phases0 = cost.clock.breakdown()
+                hidden0 = cost.clock.attributed_breakdown().get("sync", 0.0)
             dead, abort = self._epoch_fault_state(config, epoch, cost)
             if abort:
                 extra.update(aborted=True, abort_epoch=epoch,
@@ -108,10 +114,20 @@ class FedAvg(Strategy):
                 global_model.load_state_dict(average_states(
                     client_states, metrics=cost.telemetry.metrics))
 
-            cost.clock.advance(compute_s, "compute")
-            cost.energy.charge_compute(compute_s, num_clients, 1.0)
             update_s = cost.update_seconds() * math.ceil(
                 sim_shard / config.sim_global_batch)
+            if telemetry.tracer.enabled:
+                # one round = local passes in lock-step, then the
+                # weight exchange through the server
+                telemetry.tracer.span("compute", epoch_t0, compute_s,
+                                      num_socs=num_clients)
+                telemetry.tracer.span("update", epoch_t0 + compute_s,
+                                      update_s)
+                telemetry.tracer.span("sync",
+                                      epoch_t0 + compute_s + update_s,
+                                      sync_s, num_socs=num_clients)
+            cost.clock.advance(compute_s, "compute")
+            cost.energy.charge_compute(compute_s, num_clients, 1.0)
             cost.clock.advance(update_s, "update")
             cost.energy.charge_compute(update_s, num_clients, 1.0)
             cost.charge_epoch_sync(sync_s, num_clients)
@@ -120,6 +136,9 @@ class FedAvg(Strategy):
                                          config.task.y_test)
             self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
                                              history, state)
+            if telemetry.enabled:
+                record_epoch_telemetry(telemetry, cost, epoch, epoch_t0,
+                                       phases0, hidden0, accuracy)
         if config.fault_schedule is not None:
             extra.setdefault("aborted", False)
         return self._result(self.name, config, cost, history, state, extra)

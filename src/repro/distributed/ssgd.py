@@ -14,7 +14,7 @@ from ..data.loader import ArrayDataset, DataLoader
 from ..nn.optim import SGD
 from .base import (CostModel, RunConfig, Strategy, StrategyResult,
                    evaluate_accuracy, flush_graph_stats, fp32_train_step,
-                   make_model)
+                   make_model, record_epoch_telemetry)
 
 __all__ = ["SsgdStrategy"]
 
@@ -98,10 +98,15 @@ class SsgdStrategy(Strategy):
         compute_s = self.step_compute_seconds(cost)
         sync_s, hidden_s, schedule = self.bucketed_step_sync(
             cost, layout, compute_s, self.step_sync_seconds(cost))
+        telemetry = cost.telemetry
         history: list[float] = []
         state: dict = {}
         extra: dict = {}
         for epoch in range(config.max_epochs):
+            epoch_t0 = cost.clock.now
+            if telemetry.enabled:
+                phases0 = cost.clock.breakdown()
+                hidden0 = cost.clock.attributed_breakdown().get("sync", 0.0)
             dead, abort = self._epoch_fault_state(config, epoch, cost)
             if abort:
                 # fail-stop: the synchronous ring/PS collective hangs on
@@ -133,6 +138,9 @@ class SsgdStrategy(Strategy):
                                          config.task.y_test)
             self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
                                              history, state)
+            if telemetry.enabled:
+                record_epoch_telemetry(telemetry, cost, epoch, epoch_t0,
+                                       phases0, hidden0, accuracy)
         if config.fault_schedule is not None:
             extra.setdefault("aborted", False)
         flush_graph_stats(model, cost, extra)

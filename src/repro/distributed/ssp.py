@@ -20,7 +20,8 @@ from ..comm.primitives import average_states
 from ..data.loader import iid_partition
 from ..nn.optim import SGD
 from .base import (CostModel, RunConfig, Strategy, StrategyResult,
-                   evaluate_accuracy, fp32_train_step, make_model)
+                   evaluate_accuracy, fp32_train_step, make_model,
+                   record_epoch_telemetry)
 
 __all__ = ["StaleSynchronous"]
 
@@ -61,9 +62,14 @@ class StaleSynchronous(Strategy):
             list(range(config.topology.num_socs)), cost.grad_bytes)
 
         rng = np.random.default_rng(config.seed)
+        telemetry = cost.telemetry
         history: list[float] = []
         state: dict = {}
         for epoch in range(config.max_epochs):
+            epoch_t0 = cost.clock.now
+            if telemetry.enabled:
+                phases0 = cost.clock.breakdown()
+                hidden0 = cost.clock.attributed_breakdown().get("sync", 0.0)
             orders = [rng.permutation(len(shard)) for shard in shards]
             steps = min(len(o) for o in orders) // config.batch_size
             since_sync = 0
@@ -97,5 +103,8 @@ class StaleSynchronous(Strategy):
                 chain.load_state_dict(merged)
             self._epoch_accuracy_bookkeeping(accuracy, epoch, config,
                                              history, state)
+            if telemetry.enabled:
+                record_epoch_telemetry(telemetry, cost, epoch, epoch_t0,
+                                       phases0, hidden0, accuracy)
         return self._result(self.name, config, cost, history, state,
                             extra={"staleness": self.staleness})

@@ -412,6 +412,13 @@ class ElasticScheduler:
                 self.clock.advance(dt * 3600.0, "job")
                 round_index += 1
                 report.rounds = round_index
+                if metrics.enabled:
+                    # live health feed: round cadence + concurrency, so
+                    # a trace-less run still shows scheduling behaviour
+                    metrics.histogram("jobs.round_hours").observe(dt)
+                    metrics.histogram("jobs.running_per_round").observe(
+                        sum(1 for ex in self._execs.values()
+                            if ex.running and not ex.complete))
                 if not self.queue and not any(
                         ex.running and not ex.complete
                         for ex in self._execs.values()):
@@ -432,6 +439,15 @@ class ElasticScheduler:
             record = self._records[job_id]
             if record.status in ("queued", "running"):
                 record.status = "unfinished"
+            if record.status == "unfinished" and record.epochs_done == 0 \
+                    and tracer.enabled:
+                # a job that waited out the whole horizon never got a
+                # placement-time queue span; emit one so the analysis
+                # engine's starved-job monitor sees the wait
+                start = self._sim_s(record.submit_hour)
+                tracer.span("queue", start,
+                            max(0.0, self._sim_s(end) - start),
+                            job=job_id, name=f"{job_id}:starved")
             ex = self._execs.get(job_id)
             if ex is not None:
                 record.resizes = ex.resizes

@@ -8,13 +8,20 @@
 - :mod:`context` — the :class:`Telemetry` bundle threaded through
   ``RunConfig`` into every layer of the simulator.
 - :mod:`export` — Chrome-trace JSON (one process per PCB, one thread
-  per SoC), JSONL event logs, and the per-epoch/metrics tables.
+  per SoC), JSONL event logs (plain or ``.gz``) with a loader, and the
+  per-epoch/metrics tables.
+- :mod:`analysis` — the trace diagnosis engine: per-epoch critical
+  paths, straggler/bottleneck attribution, run-vs-run diffing and
+  health monitors (DESIGN.md "Observability").
 """
 
+from .analysis import (Anomaly, HealthMonitor, TraceDiff, TraceReport,
+                       analyze_records, analyze_trace, diff_reports,
+                       render_diff, render_report)
 from .context import NULL_TELEMETRY, Telemetry
-from .export import (render_epoch_table, render_metrics_table,
-                     to_chrome_trace, to_jsonl, write_chrome_trace,
-                     write_jsonl, write_trace)
+from .export import (load_trace_records, open_text, render_epoch_table,
+                     render_metrics_table, to_chrome_trace, to_jsonl,
+                     write_chrome_trace, write_jsonl, write_trace)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       NullMetricsRegistry)
 from .tracer import SPAN_KINDS, NullTracer, TraceRecord, Tracer
@@ -25,5 +32,9 @@ __all__ = [
     "MetricsRegistry", "NullMetricsRegistry", "Counter", "Gauge",
     "Histogram",
     "to_chrome_trace", "to_jsonl", "write_chrome_trace", "write_jsonl",
-    "write_trace", "render_epoch_table", "render_metrics_table",
+    "write_trace", "load_trace_records", "open_text",
+    "render_epoch_table", "render_metrics_table",
+    "TraceReport", "TraceDiff", "Anomaly", "HealthMonitor",
+    "analyze_records", "analyze_trace", "diff_reports",
+    "render_report", "render_diff",
 ]

@@ -18,11 +18,30 @@ Three views of one run's telemetry:
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 
 __all__ = ["to_chrome_trace", "write_chrome_trace", "to_jsonl",
-           "write_jsonl", "write_trace", "render_epoch_table",
-           "render_metrics_table"]
+           "write_jsonl", "write_trace", "load_trace_records",
+           "open_text", "render_epoch_table", "render_metrics_table"]
+
+
+def open_text(path, mode: str = "r"):
+    """Open ``path`` for text I/O, transparently gzipped for ``*.gz``.
+
+    Written gzip members carry ``mtime=0`` and no embedded filename, so
+    two identical exports produce byte-identical ``.gz`` files — the
+    same determinism contract the plain-text writers honour.
+    """
+    if not str(path).endswith(".gz"):
+        return open(path, mode)
+    if "w" in mode:
+        raw = gzip.GzipFile(filename="", mode="wb", fileobj=open(path, "wb"),
+                            mtime=0)
+        return io.TextIOWrapper(raw, encoding="utf-8", newline="\n")
+    return io.TextIOWrapper(gzip.GzipFile(filename=str(path), mode="rb"),
+                            encoding="utf-8")
 
 #: pid of the control-board/cluster-level process in Chrome traces;
 #: PCB ``k`` gets pid ``k + 1``.
@@ -101,7 +120,7 @@ def to_chrome_trace(tracer) -> dict:
 
 
 def write_chrome_trace(tracer, path) -> None:
-    with open(path, "w") as fh:
+    with open_text(path, "w") as fh:
         json.dump(to_chrome_trace(tracer), fh, sort_keys=True)
         fh.write("\n")
 
@@ -113,19 +132,54 @@ def to_jsonl(tracer) -> str:
 
 
 def write_jsonl(tracer, path) -> None:
-    with open(path, "w") as fh:
+    with open_text(path, "w") as fh:
         fh.write(to_jsonl(tracer))
         fh.write("\n")
 
 
 def write_trace(tracer, path, fmt: str = "chrome") -> None:
-    """Write ``tracer`` to ``path`` in ``fmt`` ('chrome' or 'jsonl')."""
+    """Write ``tracer`` to ``path`` in ``fmt`` ('chrome' or 'jsonl').
+
+    Paths ending in ``.gz`` are gzip-compressed transparently (large
+    traced runs shrink by an order of magnitude); the analysis loader
+    (:func:`load_trace_records`) reads either form back.
+    """
     if fmt == "chrome":
         write_chrome_trace(tracer, path)
     elif fmt == "jsonl":
         write_jsonl(tracer, path)
     else:
         raise ValueError(f"unknown trace format {fmt!r}")
+
+
+def load_trace_records(path) -> "list":
+    """Load the :class:`~repro.telemetry.tracer.TraceRecord` list back
+    from a JSONL trace file (plain or ``.gz``).
+
+    The loader is the inverse of :func:`write_jsonl` — records round-trip
+    exactly, so re-exporting a loaded trace is byte-identical to the
+    original file.  Chrome-format traces are rejected with a pointer at
+    ``--trace-format jsonl``: the Chrome view flattens the typed record
+    structure the analysis engine needs.
+    """
+    from .tracer import TraceRecord
+    records = []
+    with open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({err})") from None
+            if lineno == 1 and "traceEvents" in payload:
+                raise ValueError(
+                    f"{path} is a Chrome-format trace; analysis needs the "
+                    "typed JSONL log — re-run with --trace-format jsonl")
+            records.append(TraceRecord.from_dict(payload))
+    return records
 
 
 # ----------------------------------------------------------------------

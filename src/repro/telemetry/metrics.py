@@ -8,7 +8,12 @@ series and ``pcb=4`` another.
 
 Everything is deterministic: histograms keep their raw observations in
 arrival order and percentiles use nearest-rank interpolation over a
-sorted copy, so two identical runs export identical summaries.  The
+sorted copy, so two identical runs export identical summaries.  For
+million-step runs a histogram can instead be bounded
+(``Histogram(reservoir=k)``, or registry-wide via
+``MetricsRegistry(histogram_reservoir=k)``): count/sum/min/max/mean
+stay exact while percentiles come from a seeded Vitter Algorithm-R
+sample — still deterministic for a fixed observation order.  The
 :class:`NullMetricsRegistry` default makes every instrument a shared
 no-op, keeping the untraced hot path free of bookkeeping.
 """
@@ -16,6 +21,7 @@ no-op, keeping the untraced hot path free of bookkeeping.
 from __future__ import annotations
 
 import json
+import random
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "NullMetricsRegistry"]
@@ -56,18 +62,47 @@ class Gauge:
 
 
 class Histogram:
-    """Raw-observation histogram with percentile summaries."""
+    """Raw-observation histogram with percentile summaries.
+
+    With ``reservoir=k`` the instrument keeps at most ``k`` observations
+    (uniform Vitter Algorithm-R sample, seeded per instrument so runs
+    stay reproducible) while ``count``/``sum``/``min``/``max`` — and
+    therefore ``mean`` — remain exact.  Only the percentiles become
+    approximate, and only once more than ``k`` values arrive.
+    """
 
     kind = "histogram"
 
-    def __init__(self):
+    def __init__(self, reservoir: int | None = None):
+        if reservoir is not None and reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
         self.observations: list[float] = []
+        self.reservoir = reservoir
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._rng = random.Random(0x5eed) if reservoir is not None else None
 
     def observe(self, value: float) -> None:
-        self.observations.append(float(value))
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if self.reservoir is None or len(self.observations) < self.reservoir:
+            self.observations.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir:
+                self.observations[slot] = value
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        Exact in unbounded mode; computed over the reservoir sample once
+        the instrument has spilled.
+        """
         if not self.observations:
             raise ValueError("empty histogram has no percentiles")
         if not 0.0 <= p <= 100.0:
@@ -78,18 +113,21 @@ class Histogram:
         return ordered[rank]
 
     def summary(self) -> dict:
-        if not self.observations:
+        if not self.count:
             return {"count": 0}
-        return {
-            "count": len(self.observations),
-            "sum": sum(self.observations),
-            "min": min(self.observations),
-            "mean": sum(self.observations) / len(self.observations),
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "mean": self.sum / self.count,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
-            "max": max(self.observations),
+            "max": self.max,
         }
+        if self.reservoir is not None and self.count > self.reservoir:
+            out["sampled"] = len(self.observations)
+        return out
 
 
 class _NullInstrument:
@@ -133,20 +171,26 @@ class NullMetricsRegistry:
 
 
 class MetricsRegistry:
-    """Get-or-create registry keyed by (name, sorted labels)."""
+    """Get-or-create registry keyed by (name, sorted labels).
+
+    ``histogram_reservoir`` bounds every histogram the registry creates
+    (see :class:`Histogram`); the default ``None`` keeps the exact
+    unbounded behaviour.
+    """
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, histogram_reservoir: int | None = None):
         self._metrics: dict[tuple, object] = {}
+        self.histogram_reservoir = histogram_reservoir
 
-    def _get(self, factory, name: str, labels: dict):
+    def _get(self, cls, name: str, labels: dict, factory=None):
         key = (name, tuple(sorted(labels.items())))
         metric = self._metrics.get(key)
         if metric is None:
-            metric = factory()
+            metric = (factory or cls)()
             self._metrics[key] = metric
-        elif not isinstance(metric, factory):
+        elif not isinstance(metric, cls):
             raise TypeError(f"metric {name!r}{labels} already registered "
                             f"as {type(metric).__name__}")
         return metric
@@ -158,7 +202,9 @@ class MetricsRegistry:
         return self._get(Gauge, name, labels)
 
     def histogram(self, name: str, **labels) -> Histogram:
-        return self._get(Histogram, name, labels)
+        return self._get(
+            Histogram, name, labels,
+            factory=lambda: Histogram(reservoir=self.histogram_reservoir))
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -178,6 +224,7 @@ class MetricsRegistry:
                          for row in self.collect())
 
     def write_jsonl(self, path) -> None:
-        with open(path, "w") as fh:
+        from .export import open_text
+        with open_text(path, "w") as fh:
             fh.write(self.to_jsonl())
             fh.write("\n")

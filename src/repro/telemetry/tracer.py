@@ -63,6 +63,25 @@ class TraceRecord:
             out["args"] = self.args
         return out
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceRecord":
+        """Rebuild a record from its :meth:`to_dict` form (JSONL loader)."""
+        try:
+            return cls(
+                kind=payload["kind"], name=payload["name"],
+                ph=payload["ph"], ts_s=float(payload["ts_s"]),
+                dur_s=float(payload["dur_s"]),
+                soc=payload.get("soc"), pcb=payload.get("pcb"),
+                lg=payload.get("lg"), cg=payload.get("cg"),
+                job=payload.get("job"), args=dict(payload.get("args", {})))
+        except KeyError as err:
+            raise ValueError(
+                f"trace record is missing required field {err}") from None
+
+    @property
+    def end_s(self) -> float:
+        return self.ts_s + self.dur_s
+
 
 class NullTracer:
     """Records nothing; ``enabled`` gates any per-span work at call sites."""

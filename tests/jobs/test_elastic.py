@@ -124,9 +124,13 @@ class TestZeroIdleCapacity:
         assert record.status == "unfinished"
         assert record.epochs_done == 0
         assert record.start_hour is None
-        # no empty logical group was ever planned: no job/queue spans
+        # no empty logical group was ever planned: no job spans — just
+        # the synthetic queue span that lets the analyzer see starvation
         assert not [r for r in telemetry.tracer.records
-                    if r.kind in ("job", "queue")]
+                    if r.kind == "job"]
+        queued = [r for r in telemetry.tracer.records if r.kind == "queue"]
+        assert [q.name for q in queued] == ["starved:starved"]
+        assert queued[0].dur_s == 2.0 * 3600.0      # the whole horizon
         assert report.used_soc_hours == 0.0
 
 

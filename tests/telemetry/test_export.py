@@ -109,3 +109,58 @@ class TestMetricsTable:
 
     def test_empty(self):
         assert "no metrics" in render_metrics_table(MetricsRegistry())
+
+
+class TestTableEdgeCases:
+    """Renderer edge cases: empty, zero-duration, long labels, alignment."""
+
+    def test_zero_duration_epochs(self):
+        rows = [{"epoch": 0, "seconds": 0.0, "compute_s": 0.0,
+                 "sync_s": 0.0, "accuracy": 0.1},
+                {"epoch": 1, "seconds": 2.5, "compute_s": 2.0,
+                 "sync_s": 0.5, "accuracy": 0.2}]
+        out = render_epoch_table(rows)
+        # zero floats render as "0", not "" or "0.000"
+        zero_row = out.splitlines()[2]
+        assert zero_row.split() == ["0", "0", "0", "0", "0.1"]
+
+    def test_long_labels_widen_columns_consistently(self):
+        reg = MetricsRegistry()
+        long_name = "subsystem.component.metric_with_a_very_long_name"
+        reg.counter(long_name, shard="rack-0/pcb-11/soc-59").inc(7)
+        reg.counter("x").inc(1)
+        out = render_metrics_table(reg)
+        lines = out.splitlines()
+        assert long_name in out and "rack-0/pcb-11/soc-59" in out
+        # every line is padded to the same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_numeric_columns_right_aligned(self):
+        from repro.harness.reporting import format_table
+        out = format_table(["name", "value"],
+                           [["a", 1.0], ["bbbb", 12345.0]])
+        # numbers right-aligned: every value line ends at the same column
+        lines = out.splitlines()
+        width = len(lines[0])
+        assert all(len(line) == width for line in lines)
+        assert lines[2].endswith("1") and lines[3].endswith("12,345.0")
+        assert not lines[2].endswith(" ")
+
+    def test_mixed_column_stays_left_aligned(self):
+        from repro.harness.reporting import format_table
+        out = format_table(["k", "v"], [["a", 1.0], ["b", "n/a"]])
+        lines = out.splitlines()
+        assert lines[2].startswith("a  1")      # value not right-padded
+
+    def test_empty_metrics_and_epochs(self):
+        assert render_metrics_table(MetricsRegistry()) \
+            == "(no metrics recorded)"
+        assert render_epoch_table([]) == "(no epochs recorded)"
+
+    def test_epoch_table_all_rows_equal_width(self):
+        rows = [{"epoch": 0, "seconds": 1.0,
+                 "accuracy": 0.123456789},
+                {"epoch": 100000, "seconds": 123456.789,
+                 "accuracy": 1.0}]
+        lines = render_epoch_table(rows).splitlines()
+        assert len({len(line) for line in lines}) == 1

@@ -111,3 +111,74 @@ class TestNullRegistry:
         reg.gauge("b").set(1)
         reg.histogram("c").observe(2)
         assert reg.collect() == []
+
+
+class TestHistogramReservoir:
+    def test_exact_stats_survive_sampling(self):
+        h = Histogram(reservoir=16)
+        for i in range(1000):
+            h.observe(float(i))
+        assert len(h.observations) == 16
+        s = h.summary()
+        assert s["count"] == 1000
+        assert s["sum"] == sum(range(1000))
+        assert s["min"] == 0.0 and s["max"] == 999.0
+        assert s["mean"] == pytest.approx(499.5)
+        assert s["sampled"] == 16
+
+    def test_no_sampling_below_capacity(self):
+        h = Histogram(reservoir=100)
+        for i in range(50):
+            h.observe(float(i))
+        assert h.observations == [float(i) for i in range(50)]
+        assert "sampled" not in h.summary()
+        assert h.percentile(50) == 24.0        # still exact (nearest rank)
+
+    def test_sampling_is_deterministic(self):
+        def build():
+            h = Histogram(reservoir=8)
+            for i in range(500):
+                h.observe(float(i))
+            return h.observations
+        assert build() == build()
+
+    def test_sampled_percentiles_stay_in_range(self):
+        h = Histogram(reservoir=32)
+        for i in range(10_000):
+            h.observe(float(i))
+        for p in (0, 50, 90, 99, 100):
+            assert 0.0 <= h.percentile(p) <= 9999.0
+        # the median of a uniform stream lands near the true median
+        assert abs(h.percentile(50) - 5000.0) < 2500.0
+
+    def test_unbounded_mode_unchanged(self):
+        h = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.observations == [3.0, 1.0, 2.0]
+        s = h.summary()
+        assert s["count"] == 3 and "sampled" not in s
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir=0)
+
+    def test_registry_knob_applies_to_histograms_only(self):
+        reg = MetricsRegistry(histogram_reservoir=4)
+        h = reg.histogram("epoch.seconds")
+        for i in range(100):
+            h.observe(float(i))
+        assert len(h.observations) == 4
+        assert h.summary()["count"] == 100
+        assert reg.histogram("epoch.seconds") is h      # get-or-create
+        reg.counter("c").inc()                          # unaffected kinds
+        assert reg.counter("c").value == 1.0
+
+    def test_write_jsonl_gzip(self, tmp_path):
+        import gzip
+        reg = MetricsRegistry()
+        reg.counter("retries").inc(2)
+        path = tmp_path / "metrics.jsonl.gz"
+        reg.write_jsonl(path)
+        with gzip.open(path, "rt") as fh:
+            assert json.loads(fh.read())["value"] == 2.0

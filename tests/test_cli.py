@@ -303,6 +303,107 @@ jobs:
         assert "no jobs admitted" in capsys.readouterr().err
 
 
+class TestAnalyzeCommand:
+    def _traced_run(self, tmp_path, name="run.jsonl", extra=()):
+        trace = tmp_path / name
+        code, _ = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "2", "--socs", "16",
+            "--trace", str(trace), "--trace-format", "jsonl", *extra])
+        assert code == 0
+        return trace
+
+    def test_report_prints_phase_accounting(self, tmp_path):
+        trace = self._traced_run(tmp_path)
+        code, output = run_cli(["analyze", "report", str(trace)])
+        assert code == 0
+        assert "phase accounting" in output
+        assert "critical path" in output
+        assert "coverage" in output
+        assert "epoch 0" in output and "epoch 1" in output
+
+    def test_report_json_format(self, tmp_path):
+        trace = self._traced_run(tmp_path)
+        code, output = run_cli([
+            "analyze", "report", str(trace), "--format", "json"])
+        assert code == 0
+        import json
+        payload = json.loads(output)
+        assert payload["windows"]
+        assert all(w["coverage"] >= 0.99 for w in payload["windows"]
+                   if w.get("epoch") is not None)
+
+    def test_report_markdown_and_out_file(self, tmp_path):
+        trace = self._traced_run(tmp_path)
+        report = tmp_path / "report.md"
+        code, output = run_cli([
+            "analyze", "report", str(trace),
+            "--format", "markdown", "--out", str(report)])
+        assert code == 0
+        assert f"-> {report}" in output
+        text = report.read_text()
+        assert "### per-window phase accounting" in text
+        assert text.count("|") > 10
+
+    def test_diff_same_seed_reports_no_significant_change(self, tmp_path):
+        a = self._traced_run(tmp_path, "a.jsonl")
+        b = self._traced_run(tmp_path, "b.jsonl")
+        code, output = run_cli(["analyze", "diff", str(a), str(b)])
+        assert code == 0
+        assert "no significant wall-clock change" in output
+
+    def test_diff_detects_fault_slowdown(self, tmp_path):
+        a = self._traced_run(tmp_path, "clean.jsonl")
+        b = self._traced_run(tmp_path, "faulty.jsonl",
+                             extra=("--faults", "crash:epoch=1,soc=3"))
+        code, output = run_cli(["analyze", "diff", str(a), str(b)])
+        assert code == 0
+        assert "slower" in output
+        assert "recovery" in output
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli(["analyze", "report",
+                           str(tmp_path / "missing.jsonl")])
+        assert code == 2
+        assert "analyze:" in capsys.readouterr().err
+
+    def test_chrome_trace_rejected_with_hint(self, tmp_path, capsys):
+        trace = tmp_path / "run.json"
+        code, _ = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "1", "--socs", "16", "--trace", str(trace)])
+        assert code == 0
+        code, _ = run_cli(["analyze", "report", str(trace)])
+        assert code == 2
+        assert "--trace-format jsonl" in capsys.readouterr().err
+
+    def test_analyze_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_gzip_trace_accepted(self, tmp_path):
+        trace = self._traced_run(tmp_path, "run.jsonl.gz")
+        code, output = run_cli(["analyze", "report", str(trace)])
+        assert code == 0
+        assert "phase accounting" in output
+
+    def test_live_summary_printed_for_traced_runs(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "1", "--socs", "16",
+            "--trace", str(trace), "--trace-format", "jsonl"])
+        assert code == 0
+        assert "analysis: bottleneck" in output
+
+    def test_untraced_run_has_no_live_summary(self):
+        code, output = run_cli([
+            "run", "--workload", "lenet5_fmnist", "--method", "socflow",
+            "--epochs", "1", "--socs", "16"])
+        assert code == 0
+        assert "analysis: bottleneck" not in output
+
+
 class TestCompareCommand:
     def test_compare_two_methods(self):
         code, output = run_cli([
