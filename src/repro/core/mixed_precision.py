@@ -43,9 +43,8 @@ class GroupMixedTrainer:
                             weight_decay=config.weight_decay,
                             flat=self.fp32.flatten_parameters())
         if config.graph:
-            # Trace-once/replay-many FP32 step; the INT8 replica keeps
-            # its own quantised path.  Replays are bit-identical, so
-            # group results match the eager trainer exactly.
+            # Trace-once/replay-many FP32 step; replays are bit-identical,
+            # so group results match the eager trainer exactly.
             self.fp32.enable_graph_executor()
         self.int8: Int8Trainer | None = None
         if mixed:
@@ -56,6 +55,14 @@ class GroupMixedTrainer:
                                     momentum=config.momentum,
                                     weight_decay=config.weight_decay,
                                     seed=config.seed + seed_offset)
+            if config.graph:
+                # The INT8 replica honours the flag too: the whole
+                # quantised step (weight/input/gradient fake-quant and
+                # the stochastic-rounding RNG stream included) compiles
+                # to the same arena machinery.  Where capture cannot
+                # succeed the executor stays attached in fallback mode
+                # so ``graph.int8_fallbacks`` is reported, not dropped.
+                self.int8.enable_graph_executor()
 
     # ------------------------------------------------------------------
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -149,3 +156,17 @@ class GroupMixedTrainer:
         self.fp32_opt.lr = lr
         if self.int8 is not None:
             self.int8.lr = lr
+
+    # ------------------------------------------------------------------
+    def graph_stats(self) -> dict | None:
+        """Per-precision graph-executor counters, or ``None`` when the
+        graph flag is off (neither replica has an executor)."""
+        stats = {}
+        fp32_exec = getattr(self.fp32, "_graph_exec", None)
+        if fp32_exec is not None:
+            stats["fp32"] = fp32_exec.snapshot()
+        if self.int8 is not None:
+            int8_stats = self.int8.graph_stats()
+            if int8_stats is not None:
+                stats["int8"] = int8_stats
+        return stats or None

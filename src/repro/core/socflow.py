@@ -297,7 +297,53 @@ class SoCFlow(Strategy):
             extra["dead_socs"] = sorted(current_dead)
             extra["network_retries"] = cost.fabric.total_retries
         extra["final_state"] = groups[0].state_dict()
+        self._flush_graph_stats(groups, plan, cost, telemetry, extra)
         return self._result(self.name, config, cost, history, state, extra)
+
+    @staticmethod
+    def _flush_graph_stats(groups, plan, cost, telemetry, extra) -> None:
+        """Aggregate per-precision graph-executor counters into
+        ``extra["graph_stats"]``, the metrics stream and the trace.
+
+        No-op when ``--graph`` is off (no group has an executor), so
+        eager telemetry is byte-identical to pre-graph runs.  Counters
+        reuse the established ``graph.*`` names with a ``precision``
+        label, plus a dedicated ``graph.int8_fallbacks`` total so a
+        silently-eager INT8 path is visible rather than dropped.  One
+        ``graph_replay`` span per (group, precision) carries LG/CG
+        attribution.  Under ``workers > 1`` the steps run in worker
+        replicas whose executor counters are not shipped back, so the
+        main-process numbers only reflect local activity.
+        """
+        per_group = [group.graph_stats() for group in groups]
+        if not any(per_group):
+            return
+        totals: dict[str, dict[str, int]] = {}
+        for stats in per_group:
+            for precision, counters in (stats or {}).items():
+                total = totals.setdefault(precision, {})
+                for key, value in counters.items():
+                    total[key] = total.get(key, 0) + value
+        extra["graph_stats"] = totals
+        metrics = telemetry.metrics
+        if metrics.enabled:
+            for precision, counters in totals.items():
+                for key, value in counters.items():
+                    metrics.counter(f"graph.{key}",
+                                    precision=precision).inc(value)
+            if "int8" in totals:
+                metrics.counter("graph.int8_fallbacks").inc(
+                    totals["int8"].get("fallbacks", 0))
+        tracer = telemetry.tracer
+        if tracer.enabled:
+            lg_to_cg = {lg: cg_idx for cg_idx, cg in enumerate(plan.cgs)
+                        for lg in cg}
+            now = cost.clock.now
+            for lg, stats in enumerate(per_group):
+                for precision, counters in (stats or {}).items():
+                    tracer.span("graph_replay", now, 0.0, lg=lg,
+                                cg=lg_to_cg.get(lg, 0),
+                                precision=precision, **counters)
 
     # ------------------------------------------------------------------
     # Pieces

@@ -180,21 +180,29 @@ def fp32_train_step(model: Module, optimizer: SGD, x: np.ndarray,
     return loss.item()
 
 
-def flush_graph_stats(model: Module, cost: "CostModel",
-                      extra: dict) -> None:
+def flush_graph_stats(model: Module, cost: "CostModel", extra: dict,
+                      hook_fallback: bool = False) -> None:
     """Surface a model's graph-executor counters after a training run.
 
-    No-op without an attached executor.  With one, the capture/replay
-    counters land in ``extra["graph_stats"]``, the metrics registry
-    (``graph.captures`` / ``graph.replays`` / ``graph.eager_steps`` /
-    ``graph.fallbacks``) and a ``graph_replay`` summary span at the
-    current simulated clock.  Numerics are untouched, so traced and
-    untraced runs stay bit-identical.
+    No-op without an attached executor — unless ``hook_fallback`` says
+    the strategy declined to attach one despite ``config.graph`` (e.g.
+    hipress's gradient hook, which capture does not support); then a
+    synthetic single-fallback stat block is reported so the flag is
+    visibly honoured rather than silently dropped.  With an executor,
+    the capture/replay counters land in ``extra["graph_stats"]``, the
+    metrics registry (``graph.captures`` / ``graph.replays`` /
+    ``graph.eager_steps`` / ``graph.fallbacks``) and a ``graph_replay``
+    summary span at the current simulated clock.  Numerics are
+    untouched, so traced and untraced runs stay bit-identical.
     """
     executor = getattr(model, "_graph_exec", None)
     if executor is None:
-        return
-    stats = executor.snapshot()
+        if not hook_fallback:
+            return
+        stats = {"captures": 0, "replays": 0, "eager_steps": 0,
+                 "fallbacks": 1}
+    else:
+        stats = executor.snapshot()
     extra["graph_stats"] = stats
     telemetry = cost.telemetry
     if telemetry.metrics.enabled:

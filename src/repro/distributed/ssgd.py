@@ -85,11 +85,13 @@ class SsgdStrategy(Strategy):
                         momentum=config.momentum,
                         weight_decay=config.weight_decay,
                         flat=flat)
-        if config.graph and not self._uses_gradient_hook():
-            # Gradient-hook strategies (HiPress DGC) mutate gradients
-            # between backward and step; the compiled program fuses
-            # those phases, so they stay on the eager interpreter.
+        hook_eager = config.graph and self._uses_gradient_hook()
+        if config.graph and not hook_eager:
             model.enable_graph_executor()
+        # Gradient-hook strategies (HiPress DGC) mutate gradients
+        # between backward and step; the compiled program fuses those
+        # phases, so they stay on the eager interpreter — recorded as an
+        # explicit fallback at flush time rather than silently.
         loader = DataLoader(
             ArrayDataset(config.task.x_train, config.task.y_train),
             config.batch_size, shuffle=True, seed=config.seed)
@@ -143,7 +145,7 @@ class SsgdStrategy(Strategy):
                                        phases0, hidden0, accuracy)
         if config.fault_schedule is not None:
             extra.setdefault("aborted", False)
-        flush_graph_stats(model, cost, extra)
+        flush_graph_stats(model, cost, extra, hook_fallback=hook_eager)
         return self._result(self.name, config, cost, history, state, extra)
 
     # -- gradient-hook plumbing ---------------------------------------------

@@ -51,7 +51,9 @@ from .tensor import Tensor
 
 __all__ = [
     "GraphCapture", "GraphExecutor", "GraphUnsupported",
-    "attach_graph_executor", "detach_graph_executor", "compile_program",
+    "Int8GraphExecutor", "attach_graph_executor",
+    "attach_int8_graph_executor", "detach_graph_executor",
+    "compile_program",
 ]
 
 
@@ -64,13 +66,13 @@ _SUPPORTED = frozenset({
     "add", "neg", "mul", "div", "pow", "matmul", "sum", "reshape",
     "transpose", "getitem", "relu", "exp", "sqrt", "tanh", "sigmoid",
     "pad2d", "conv2d", "max_pool2d", "avg_pool2d", "batch_norm",
-    "log_softmax", "cross_entropy", "dropout",
+    "log_softmax", "cross_entropy", "dropout", "ste_quant", "ste_fp16",
 })
 
 #: elementwise ops whose output buffer may be the (dead) input buffer
 _ELEMENTWISE = frozenset({
     "add", "neg", "mul", "div", "pow", "relu", "exp", "sqrt", "tanh",
-    "sigmoid", "dropout",
+    "sigmoid", "dropout", "ste_quant", "ste_fp16",
 })
 
 
@@ -353,6 +355,39 @@ def _kscatter_add(full, index, g):
     return run
 
 
+def _kste_quant(observer, qmax, a, out, absbuf, tmp64):
+    """STE fake-quantise ``a`` into ``out`` with a live observer scale.
+
+    Replays ``observer.observe(a)`` followed by
+    ``dequantize(quantize(a, observer.scale, qmax), scale)`` without
+    allocating: the peak reduction runs in ``absbuf``, the EMA update
+    goes through ``EmaObserver.update`` (same arithmetic as
+    ``observe``), and the dequantisation multiply runs in the float64
+    scratch ``tmp64`` — the eager path multiplies int32 by a float64
+    scale, and a float32 product would double-round.  The int32 round
+    trip itself is skippable: post-clip values are integral and within
+    ±qmax, which float32 holds exactly.  ``out`` may alias ``a``; the
+    observation happens before the first in-place write.
+    """
+    def run():
+        observer.update(float(np.abs(a, out=absbuf).max()))
+        scale = observer.scale
+        np.divide(a, scale, out=out)
+        np.rint(out, out=out)
+        np.clip(out, -qmax, qmax, out=out)
+        np.copyto(tmp64, out)
+        np.multiply(tmp64, scale, out=tmp64)
+        np.copyto(out, tmp64)
+    return run
+
+
+def _kste_fp16(a, out, tmp16):
+    def run():
+        np.copyto(tmp16, a)     # copyto casts exactly like astype
+        np.copyto(out, tmp16)
+    return run
+
+
 def _krng(rng, r):
     def run():
         rng.random(out=r)
@@ -453,6 +488,7 @@ class _Compiler:
         self._gcount: dict[int, int] = {}
         self._param_grads: list[tuple[Tensor, np.ndarray]] = []
         self._seen_params: set[int] = set()
+        self._scratch_cache: dict[tuple, np.ndarray] = {}
         self.fused_elementwise = 0
 
         x = capture.x_tensor.data
@@ -527,6 +563,17 @@ class _Compiler:
     def _ded(self, shape, dtype=np.float32, zero=False) -> np.ndarray:
         arr = (np.zeros if zero else np.empty)(shape, dtype=dtype)
         self._ded_bytes += arr.nbytes
+        return arr
+
+    def _scratch(self, shape, dtype) -> np.ndarray:
+        """A dedicated scratch buffer shared by every kernel needing
+        this (shape, dtype) — safe because replay is sequential and no
+        kernel's scratch outlives its own closure."""
+        key = (tuple(shape), np.dtype(dtype).str)
+        arr = self._scratch_cache.get(key)
+        if arr is None:
+            arr = self._ded(shape, dtype)
+            self._scratch_cache[key] = arr
         return arr
 
     def _value(self, src: _Src):
@@ -760,6 +807,26 @@ class _Compiler:
         self._emit(_kuf1, np.exp, out, out)
         self._emit(_kuf2, np.add, out, 1.0, out)
         self._emit(_kuf2, np.divide, 1.0, out, out)
+        node.val = out
+
+    def _fwd_ste_quant(self, node):
+        observer = node.ctx.get("observer")
+        if observer is None:
+            # A bare ste_quantize call has no observer to re-derive the
+            # scale from at replay time; the step stays eager.
+            raise GraphUnsupported("ste_quant without an observer scale")
+        a = self._value(node.srcs[0])
+        out = self._ew_out(node)
+        self._emit(_kste_quant, observer, node.ctx["qmax"], a, out,
+                   self._scratch(node.shape, np.float32),
+                   self._scratch(node.shape, np.float64))
+        node.val = out
+
+    def _fwd_ste_fp16(self, node):
+        a = self._value(node.srcs[0])
+        out = self._ew_out(node)
+        self._emit(_kste_fp16, a, out,
+                   self._scratch(node.shape, np.float16))
         node.val = out
 
     def _fwd_pad2d(self, node):
@@ -1165,6 +1232,17 @@ class _Compiler:
         self._emit(_kuf2, np.multiply, t1, t2, t1)
         self._acc(src, t1)
 
+    def _bwd_ste_quant(self, node, g):
+        # Straight-through estimator: the gradient passes unchanged.
+        src = node.srcs[0]
+        if src.requires_grad:
+            self._acc(src, g)
+
+    def _bwd_ste_fp16(self, node, g):
+        src = node.srcs[0]
+        if src.requires_grad:
+            self._acc(src, g)
+
     def _bwd_pad2d(self, node, g):
         src = node.srcs[0]
         if src.requires_grad:
@@ -1553,3 +1631,263 @@ def attach_graph_executor(model, max_programs: int = 8,
 def detach_graph_executor(model) -> None:
     if getattr(model, "_graph_exec", None) is not None:
         model._graph_exec = None
+
+
+# ---------------------------------------------------------------------------
+# INT8 training-step programs (the Int8Trainer / NPU hot path)
+# ---------------------------------------------------------------------------
+
+def _make_input_stage(x_buf, observer, config):
+    """Closure quantising one raw input batch into the core program's
+    input buffer, replicating ``Int8Trainer._quantize_input`` exactly.
+
+    ``observer`` is the trainer's live input :class:`EmaObserver` (or
+    ``None`` when activations are not quantised): its EMA advances on
+    every replay and its scale is re-read, so scale drift is program
+    *input*, not program *structure*.
+    """
+    if observer is None:
+        def stage(x):
+            np.copyto(x_buf, x)
+        return stage
+    absbuf = np.empty(x_buf.shape, dtype=np.float32)
+    if config.float16:
+        h16 = np.empty(x_buf.shape, dtype=np.float16)
+
+        def stage(x):
+            observer.update(float(np.abs(x, out=absbuf).max()))
+            np.copyto(h16, x)
+            np.copyto(x_buf, h16)
+        return stage
+    qmax = config.qmax
+    tmp64 = np.empty(x_buf.shape, dtype=np.float64)
+
+    def stage(x):
+        observer.update(float(np.abs(x, out=absbuf).max()))
+        scale = observer.scale
+        np.divide(x, scale, out=x_buf)
+        np.rint(x_buf, out=x_buf)
+        np.clip(x_buf, -qmax, qmax, out=x_buf)
+        np.copyto(tmp64, x_buf)
+        np.multiply(tmp64, scale, out=tmp64)
+        np.copyto(x_buf, tmp64)
+    return stage
+
+
+def _make_clip(flat_grads, layout, max_grad_norm):
+    """Fused global-norm gradient clip over the flat gradient buffer.
+
+    Bit-identical to ``Int8Trainer._clip_gradients``: one float64
+    pairwise ``np.sum`` per parameter segment, accumulated in parameter
+    order (float addition order matters), then a single in-place
+    multiply of the whole buffer — elementwise identical to the eager
+    per-view loop because every parameter's gradient view tiles it.
+    """
+    n = layout.num_params
+    g64 = np.empty(int(max(layout.sizes[:n])), dtype=np.float64)
+    segs = tuple(
+        (flat_grads[off:off + size], g64[:size])
+        for off, size in zip(layout.offsets[:n], layout.sizes[:n]))
+
+    def run():
+        total = 0.0
+        for g32, gsq in segs:
+            np.copyto(gsq, g32)             # astype-exact float64 widen
+            np.square(gsq, out=gsq)         # ndarray ** 2 is np.square
+            total += float(np.sum(gsq))
+        norm = np.sqrt(total)
+        if norm > max_grad_norm:
+            np.multiply(flat_grads, max_grad_norm / norm, out=flat_grads)
+    return run
+
+
+class _Int8Program:
+    """A bound, replayable INT8 training step.
+
+    Wraps a core autograd :class:`_Program` (fake-quantised forward
+    with STE hooks, loss, backward) with the preallocated quantisation
+    stages ``Int8Trainer.train_step`` runs around it:
+
+    1. master-weight snapshot + in-place segment fake-quantisation of
+       the flat parameter buffer (scales are data-dependent and
+       recomputed every replay),
+    2. input observation + fake-quantisation straight into the core
+       program's input buffer,
+    3. the captured forward/backward closures,
+    4. master restore, fused global-norm clip, and in-place
+       stochastically-rounded gradient quantisation that advances the
+       trainer's RNG stream exactly like the eager
+       ``fake_quantize_segments`` call (one ``rng.random(out=)`` draw).
+    """
+
+    __slots__ = ("_core", "_flat_params", "_flat_grads", "_masters",
+                 "_weight_quant", "_input_stage", "_clip", "_grad_quant",
+                 "_stochastic", "stats")
+
+    def __init__(self, core, flat_params, flat_grads, weight_quant,
+                 input_stage, clip, grad_quant, stochastic):
+        self._core = core
+        self._flat_params = flat_params
+        self._flat_grads = flat_grads
+        self._masters = np.empty_like(flat_params)
+        self._weight_quant = weight_quant
+        self._input_stage = input_stage
+        self._clip = clip
+        self._grad_quant = grad_quant
+        self._stochastic = stochastic
+        self.stats = core.stats
+
+    def replay(self, trainer, x, y) -> float:
+        core = self._core
+        trainer.model.train()
+        np.copyto(self._masters, self._flat_params)
+        if self._weight_quant is not None:
+            self._weight_quant(self._flat_params)
+        self._input_stage(x)
+        np.copyto(core._y_buf, y)
+        for run in core._closures:
+            run()
+        np.copyto(self._flat_params, self._masters)
+        if self._clip is not None:
+            self._clip()
+        if self._grad_quant is not None:
+            self._grad_quant(self._flat_grads,
+                             rng=trainer.rng if self._stochastic else None)
+        for param, gbuf in core._param_grads:
+            param.grad = gbuf
+        trainer.optimizer.step()
+        return float(core._loss)
+
+
+class Int8GraphExecutor:
+    """Trace-once/replay-many dispatcher for one ``Int8Trainer``.
+
+    Mirrors :class:`GraphExecutor` (shape-keyed programs, permanently
+    eager keys on cache overflow, drop-everything on flat-storage
+    rebinding) and adds the INT8-specific fallback edge: a quantiser /
+    observer reconfiguration (``attach_activation_quant`` re-run, a
+    changed ``QuantConfig`` or ``max_grad_norm``) invalidates every
+    program, because the bound closures hold the observer objects.
+
+    Unlike the FP32 executor it is attachable even when the model
+    cannot flatten: every step then falls back with the ``fallbacks``
+    counter ticking, so ``graph.int8_fallbacks`` always has a value to
+    report instead of the flag being silently dropped.
+    """
+
+    def __init__(self, trainer, max_programs: int = 8, fuse: bool = True):
+        self.trainer = trainer
+        self.max_programs = max_programs
+        self.fuse = fuse
+        self.stats = {"captures": 0, "replays": 0, "eager_steps": 0,
+                      "fallbacks": 0}
+        self._programs: dict[tuple, _Int8Program | None] = {}
+        self._sig = None
+
+    def _signature(self):
+        t = self.trainer
+        return (id(t._input_observer),
+                tuple(id(o) for o in t._activation_observers()),
+                t.config, t.max_grad_norm)
+
+    def step(self, x, y) -> float:
+        t = self.trainer
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y)
+        key = (x.shape, y.shape, y.dtype.str)
+        flat = t._flat()
+        prog = self._programs.get(key, _MISSING)
+        if prog is _MISSING:
+            if flat is None:
+                self.stats["fallbacks"] += 1
+                return t._eager_step(x, y)
+            if len(self._programs) >= self.max_programs:
+                self.stats["eager_steps"] += 1
+                return t._eager_step(x, y)
+            return self._capture_step(key, flat, x, y)
+        if prog is None:
+            self.stats["eager_steps"] += 1
+            return t._eager_step(x, y)
+        if flat is None or self._signature() != self._sig:
+            # Parameter storage was rebound or the quantisers were
+            # reconfigured under us: every bound view and observer
+            # closure is stale, not just this shape's.
+            self._programs.clear()
+            self._sig = None
+            self.stats["fallbacks"] += 1
+            return t._eager_step(x, y)
+        self.stats["replays"] += 1
+        return prog.replay(t, x, y)
+
+    def _capture_step(self, key, flat, x, y) -> float:
+        t = self.trainer
+        t.model.train()
+        t.optimizer.zero_grad()
+        masters = t._quantized_weights()
+        x_t = Tensor(t._quantize_input(x))
+        capture = GraphCapture(x_t, y, flat.param_tensors)
+        tensor_mod._CAPTURE = capture
+        try:
+            logits = t.model(x_t)
+            loss = F.cross_entropy(logits, y)
+            loss.backward()
+        finally:
+            tensor_mod._CAPTURE = None
+        loss_val = t._finish_step(loss, masters)
+        try:
+            prog = self._compile(capture, loss, flat)
+        except GraphUnsupported:
+            prog = None
+        self._programs[key] = prog
+        if prog is None:
+            self.stats["fallbacks"] += 1
+        else:
+            self.stats["captures"] += 1
+            self._sig = self._signature()
+        return loss_val
+
+    def _compile(self, capture, loss, flat) -> _Int8Program:
+        from ..quant.int8 import SegmentQuantizer
+        t = self.trainer
+        config = t.config
+        core = compile_program(capture, loss, fuse=self.fuse)
+        layout = flat.layout
+        if len(core._param_grads) != layout.num_params:
+            # The eager step clips/quantises exactly the parameters that
+            # received gradients; the fused stages assume all of them.
+            raise GraphUnsupported("not every parameter received a gradient")
+        starts, sizes = t._param_segments(flat)
+        weight_quant = (SegmentQuantizer(starts, sizes, config)
+                        if config.quantize_weights else None)
+        grad_quant = (SegmentQuantizer(starts, sizes, config,
+                                       stochastic=True)
+                      if config.quantize_gradients else None)
+        observer = (t._input_observer if config.quantize_activations
+                    else None)
+        input_stage = _make_input_stage(core._x_buf, observer, config)
+        clip = (_make_clip(flat.grads, layout, t.max_grad_norm)
+                if t.max_grad_norm is not None else None)
+        return _Int8Program(
+            core, flat.params, flat.grads, weight_quant, input_stage,
+            clip, grad_quant, stochastic=config.stochastic_rounding)
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.stats)
+
+    def program_stats(self) -> list[dict]:
+        return [p.stats for p in self._programs.values() if p is not None]
+
+
+def attach_int8_graph_executor(trainer, max_programs: int = 8,
+                               fuse: bool = True) -> Int8GraphExecutor:
+    """Attach an :class:`Int8GraphExecutor` to an ``Int8Trainer``
+    (idempotent).  Always succeeds — a trainer whose model cannot
+    flatten keeps the executor in permanent-fallback mode so the
+    ``graph.int8_fallbacks`` counter is still surfaced."""
+    executor = getattr(trainer, "_graph_exec", None)
+    if executor is not None:
+        return executor
+    executor = Int8GraphExecutor(trainer, max_programs=max_programs,
+                                 fuse=fuse)
+    trainer._graph_exec = executor
+    return executor

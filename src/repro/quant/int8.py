@@ -11,7 +11,8 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["QuantConfig", "quantize", "dequantize", "fake_quantize",
-           "fake_quantize_segments", "quantization_error"]
+           "fake_quantize_segments", "SegmentQuantizer",
+           "quantization_error"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +117,87 @@ def fake_quantize_segments(flat: np.ndarray, starts: np.ndarray,
     # Dequantise: int32 * float64 scale, then one cast to float32 — the
     # same promotion ``(q * scale).astype(float32)`` performs per tensor.
     return (q * np.repeat(scales, sizes)).astype(np.float32)
+
+
+class SegmentQuantizer:
+    """Preallocated, in-place twin of :func:`fake_quantize_segments`.
+
+    The functional form allocates roughly eight arrays per call; inside
+    the compiled graph executor's replay loop that allocation churn is
+    the dominant cost of the weight/gradient quantisation stages.  This
+    class owns every scratch buffer up front and quantises ``flat``
+    *in place*, producing bit-identical results — including the
+    stochastic-rounding random stream: the single ``rng.random(out=)``
+    draw consumes the PCG64 stream exactly like ``rng.random(n)``.
+
+    One instance is bound to one ``(starts, sizes)`` segmentation (a
+    :class:`repro.nn.flat.FlatLayout`'s parameter regions) and one
+    :class:`QuantConfig`.  Pass ``stochastic=True`` to allocate the
+    rounding buffers (gradient path); the weight path never draws.
+    """
+
+    def __init__(self, starts: np.ndarray, sizes: np.ndarray,
+                 config: QuantConfig, stochastic: bool = False):
+        self.config = config
+        self.starts = np.asarray(starts, dtype=np.intp)
+        self.sizes = np.asarray(sizes, dtype=np.intp)
+        n = int(self.sizes.sum())
+        self.total = n
+        if config.float16:
+            self._h16 = np.empty(n, dtype=np.float16)
+            return
+        k = len(self.starts)
+        self._abs = np.empty(n, dtype=np.float32)
+        self._maxima = np.empty(k, dtype=np.float32)
+        self._scales64 = np.empty(k, dtype=np.float64)
+        self._scales32 = np.empty(k, dtype=np.float32)
+        self._rep32 = np.empty(n, dtype=np.float32)
+        self._rep64 = np.empty(n, dtype=np.float64)
+        self._scaled = np.empty(n, dtype=np.float32)
+        self._out64 = np.empty(n, dtype=np.float64)
+        if stochastic and config.stochastic_rounding:
+            self._floor = np.empty(n, dtype=np.float32)
+            self._r64 = np.empty(n, dtype=np.float64)
+            self._lt = np.empty(n, dtype=np.bool_)
+
+    def __call__(self, flat: np.ndarray,
+                 rng: np.random.Generator | None = None) -> None:
+        """Quantise ``flat`` in place (1-D float32, length ``total``)."""
+        config = self.config
+        if config.float16:
+            np.copyto(self._h16, flat)      # casts exactly like astype
+            np.copyto(flat, self._h16)
+            return
+        qmax = config.qmax
+        np.abs(flat, out=self._abs)
+        np.maximum.reduceat(self._abs, self.starts, out=self._maxima)
+        # astype-to-float64 *then* divide, exactly like the functional
+        # form (a float32 divide widened afterwards rounds differently).
+        np.copyto(self._scales64, self._maxima)
+        self._scales64 /= qmax
+        self._scales64[self._maxima == 0.0] = 1.0
+        np.copyto(self._scales32, self._scales64)
+        for i, (start, size) in enumerate(zip(self.starts, self.sizes)):
+            self._rep32[start:start + size] = self._scales32[i]
+            self._rep64[start:start + size] = self._scales64[i]
+        scaled = self._scaled
+        np.divide(flat, self._rep32, out=scaled)
+        if rng is not None and config.stochastic_rounding:
+            np.floor(scaled, out=self._floor)
+            np.subtract(scaled, self._floor, out=scaled)      # frac
+            rng.random(out=self._r64)
+            np.less(self._r64, scaled, out=self._lt)
+            np.add(self._floor, self._lt, out=scaled)
+        else:
+            np.rint(scaled, out=scaled)
+        np.clip(scaled, -qmax, qmax, out=scaled)
+        # The functional form casts to int32 here; the values are
+        # already integral and within ±qmax, so float32 holds them
+        # exactly and the int32 round trip is skippable.  The float64
+        # dequantisation multiply is NOT: int32 * float64 promotes, and
+        # a float32 product would double-round.
+        np.multiply(scaled, self._rep64, out=self._out64)
+        np.copyto(flat, self._out64)
 
 
 def quantization_error(x: np.ndarray, config: QuantConfig) -> float:

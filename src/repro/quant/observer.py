@@ -38,7 +38,16 @@ class EmaObserver:
         self._ema: float | None = None
 
     def observe(self, x: np.ndarray) -> None:
-        peak = float(np.abs(x).max())
+        self.update(float(np.abs(x).max()))
+
+    def update(self, peak: float) -> None:
+        """Fold one batch peak into the EMA.
+
+        Split out of :meth:`observe` so callers that already hold the
+        batch peak (the compiled graph executor computes it into a
+        preallocated scratch buffer) run the *same* EMA arithmetic —
+        the scale trajectory is bit-identical either way.
+        """
         if self._ema is None:
             self._ema = peak
         else:

@@ -21,14 +21,23 @@ __all__ = ["ste_quantize", "ste_cast_fp16", "ActivationQuantizer",
            "attach_activation_quant", "detach_activation_quant"]
 
 
-def ste_quantize(x: Tensor, scale: float, qmax: int) -> Tensor:
-    """Forward: snap to the INT8 grid; backward: identity gradient."""
+def ste_quantize(x: Tensor, scale: float, qmax: int,
+                 observer: EmaObserver | None = None) -> Tensor:
+    """Forward: snap to the INT8 grid; backward: identity gradient.
+
+    ``observer`` is metadata for the graph executor: when the op is
+    captured, the compiled program re-reads ``observer.scale`` on every
+    replay (and performs the observation itself), so EMA scale drift
+    does not force a recapture.  It does not change the eager result —
+    ``scale`` is still the value used here.
+    """
     out_data = dequantize(quantize(x.data, scale, qmax), scale)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="ste_quant",
+                        ctx={"qmax": qmax, "observer": observer})
 
 
 def ste_cast_fp16(x: Tensor) -> Tensor:
@@ -38,7 +47,7 @@ def ste_cast_fp16(x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="ste_fp16")
 
 
 class ActivationQuantizer:
@@ -52,7 +61,8 @@ class ActivationQuantizer:
         if self.config.float16:
             return ste_cast_fp16(out)
         self.observer.observe(out.data)
-        return ste_quantize(out, self.observer.scale, self.config.qmax)
+        return ste_quantize(out, self.observer.scale, self.config.qmax,
+                            observer=self.observer)
 
 
 def attach_activation_quant(model: Module, config: QuantConfig) -> int:

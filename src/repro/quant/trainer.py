@@ -42,6 +42,7 @@ class Int8Trainer:
         self.optimizer = SGD(model.parameters(), lr=lr, momentum=momentum,
                              weight_decay=weight_decay)
         self.rng = np.random.default_rng(seed)
+        self._graph_exec = None
         self._input_observer = EmaObserver(config.qmax)
         if config.quantize_activations:
             from .ste import attach_activation_quant
@@ -103,13 +104,25 @@ class Int8Trainer:
     # ------------------------------------------------------------------
     def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
         """One SGD step on the INT8 path; returns the batch loss."""
+        if self._graph_exec is not None:
+            return self._graph_exec.step(inputs, targets)
+        return self._eager_step(np.asarray(inputs, dtype=np.float32),
+                                np.asarray(targets))
+
+    def _eager_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """The uncompiled step: build the autograd tape every time."""
         self.model.train()
         self.optimizer.zero_grad()
         masters = self._quantized_weights()
-        x = Tensor(self._quantize_input(np.asarray(inputs, dtype=np.float32)))
+        x = Tensor(self._quantize_input(inputs))
         logits = self.model(x)
         loss = F.cross_entropy(logits, targets)
         loss.backward()
+        return self._finish_step(loss, masters)
+
+    def _finish_step(self, loss, masters) -> float:
+        """Post-backward tail shared by the eager step and graph capture:
+        master restore, clip, gradient quantisation, optimiser step."""
         self._restore_weights(masters)
         if self.max_grad_norm is not None:
             self._clip_gradients()
@@ -142,6 +155,26 @@ class Int8Trainer:
             scale = self.max_grad_norm / norm
             for grad in grads:
                 grad *= scale
+
+    # ------------------------------------------------------------------
+    def enable_graph_executor(self, max_programs: int = 8,
+                              fuse: bool = True):
+        """Compile-and-replay the INT8 step via the graph executor.
+
+        Mirrors ``Module.enable_graph_executor`` but wraps the *whole*
+        trainer step (weight/input/gradient quantisation included), not
+        just forward/backward.  Idempotent."""
+        from ..nn.graph import attach_int8_graph_executor
+        return attach_int8_graph_executor(self, max_programs=max_programs,
+                                          fuse=fuse)
+
+    def disable_graph_executor(self) -> None:
+        self._graph_exec = None
+
+    def graph_stats(self) -> dict | None:
+        if self._graph_exec is None:
+            return None
+        return self._graph_exec.snapshot()
 
     # ------------------------------------------------------------------
     def _activation_observers(self):

@@ -48,12 +48,12 @@ def base_config(tiny_task, **overrides):
     return RunConfig(**kwargs)
 
 
-def run(config, method):
+def run(config, method, options=None):
     metrics = MetricsRegistry()
     config = dataclasses.replace(
         config, telemetry=Telemetry(metrics=metrics))
     if method == "socflow":
-        result = SoCFlow(SoCFlowOptions()).train(config)
+        result = SoCFlow(options or SoCFlowOptions()).train(config)
     else:
         result = build_strategy(method).train(config)
     return result, metrics
@@ -112,15 +112,51 @@ def test_graph_stats_report_replays(tiny_task, method):
     assert counters["graph.captures"] == stats["captures"]
 
 
-def test_hipress_ignores_the_graph_flag(references, tiny_task):
+def test_hipress_falls_back_to_eager_with_counter(references, tiny_task):
     """DGC mutates gradients between backward and optimizer.step; the
     compiled program fuses those phases, so hipress must stay eager —
-    and therefore be *exactly* the eager run, graph stats included."""
+    and therefore be *exactly* the eager run — while recording an
+    explicit fallback (``graph.fallbacks`` = 1) instead of silently
+    dropping the flag."""
     ref, ref_metrics = references["hipress"]
     graphed, graphed_metrics = run(base_config(tiny_task, graph=True),
                                    "hipress")
     assert_differential(ref, ref_metrics, graphed, graphed_metrics)
-    assert "graph_stats" not in graphed.extra
+    assert "graph_stats" not in ref.extra
+    assert graphed.extra["graph_stats"] == {
+        "captures": 0, "replays": 0, "eager_steps": 0, "fallbacks": 1}
+    counters = {r["name"]: r["value"] for r in graphed_metrics.collect()
+                if r["name"].startswith("graph.")}
+    assert counters["graph.fallbacks"] == 1
+    assert counters["graph.replays"] == 0
+
+
+@pytest.mark.parametrize("precision", ["mixed", "int8"])
+def test_mixed_precision_graph_is_differentially_identical(tiny_task,
+                                                           precision):
+    """Fig. 14's INT8-bearing precision modes with ``--graph``: the
+    quantised step compiles too (stochastic-rounding RNG stream, EMA
+    observer updates and master-weight correction replay bit-exactly),
+    and nothing observable moves.  The per-precision stats prove the
+    INT8 programs actually replayed rather than silently falling back."""
+    options = SoCFlowOptions(precision=precision)
+    ref, ref_metrics = run(base_config(tiny_task), "socflow", options)
+    graphed, graphed_metrics = run(base_config(tiny_task, graph=True),
+                                   "socflow", options)
+    assert_differential(ref, ref_metrics, graphed, graphed_metrics)
+    assert "graph_stats" not in ref.extra
+    stats = graphed.extra["graph_stats"]
+    assert stats["int8"]["captures"] >= 1
+    assert stats["int8"]["replays"] > stats["int8"]["captures"]
+    assert stats["int8"]["fallbacks"] == 0
+    counters = {(r["name"], r["labels"].get("precision")): r["value"]
+                for r in graphed_metrics.collect()
+                if r["name"].startswith("graph.")}
+    assert counters[("graph.replays", "int8")] == stats["int8"]["replays"]
+    assert counters[("graph.int8_fallbacks", None)] == 0
+    if precision == "mixed":
+        assert stats["fp32"]["replays"] > 0
+        assert counters[("graph.replays", "fp32")] == stats["fp32"]["replays"]
 
 
 def test_workers_remain_bit_identical_with_graph(references, tiny_task):

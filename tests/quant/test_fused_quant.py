@@ -4,7 +4,7 @@ for bit, including the stochastic-rounding random stream."""
 import numpy as np
 import pytest
 
-from repro.quant.int8 import (QuantConfig, fake_quantize,
+from repro.quant.int8 import (QuantConfig, SegmentQuantizer, fake_quantize,
                               fake_quantize_segments)
 
 
@@ -81,3 +81,74 @@ def test_extreme_magnitudes_match_per_tensor():
     fused = fake_quantize_segments(flat, starts, sizes, config)
     assert np.array_equal(fused, perkey_reference(flat, starts, sizes,
                                                   config))
+
+
+# ----------------------------------------------------------------------
+# SegmentQuantizer: the preallocated in-place twin the graph executor
+# replays — must be indistinguishable from the functional form.
+# ----------------------------------------------------------------------
+
+PREALLOC_CONFIGS = [
+    QuantConfig(bits=8, stochastic_rounding=False),
+    QuantConfig(bits=4, stochastic_rounding=False),
+    QuantConfig(bits=8, stochastic_rounding=True),
+    QuantConfig(float16=True),
+]
+
+
+@pytest.mark.parametrize("config", PREALLOC_CONFIGS,
+                         ids=lambda c: c.format_name +
+                         ("_sr" if c.stochastic_rounding else ""))
+def test_prealloc_quantizer_matches_functional(config):
+    flat, starts, sizes = segmented_array(SIZES, seed=6)
+    stochastic = config.stochastic_rounding
+    expected = fake_quantize_segments(
+        flat, starts, sizes, config,
+        rng=np.random.default_rng(11) if stochastic else None)
+    quantizer = SegmentQuantizer(starts, sizes, config,
+                                 stochastic=stochastic)
+    inplace = flat.copy()
+    quantizer(inplace,
+              rng=np.random.default_rng(11) if stochastic else None)
+    assert np.array_equal(inplace, expected)
+
+
+def test_prealloc_quantizer_rng_stream_identical():
+    """Replay after replay, the in-place form must leave the generator
+    in the exact state the functional form would — the graph executor
+    threads one RNG through many replays."""
+    config = QuantConfig(bits=8, stochastic_rounding=True)
+    rng_fn = np.random.default_rng(13)
+    rng_pre = np.random.default_rng(13)
+    quantizer = SegmentQuantizer(*segmented_array(SIZES, seed=8)[1:],
+                                 config, stochastic=True)
+    for seed in range(4):
+        flat, starts, sizes = segmented_array(SIZES, seed=seed)
+        expected = fake_quantize_segments(flat, starts, sizes, config,
+                                          rng=rng_fn)
+        inplace = flat.copy()
+        quantizer(inplace, rng=rng_pre)
+        assert np.array_equal(inplace, expected)
+        assert rng_fn.bit_generator.state == rng_pre.bit_generator.state
+
+
+def test_prealloc_quantizer_zero_segment():
+    config = QuantConfig(bits=8, stochastic_rounding=False)
+    flat, starts, sizes = segmented_array([16, 16, 16], seed=1)
+    flat[16:32] = 0.0
+    expected = fake_quantize_segments(flat, starts, sizes, config)
+    quantizer = SegmentQuantizer(starts, sizes, config)
+    quantizer(flat)
+    assert np.array_equal(flat, expected)
+
+
+def test_prealloc_quantizer_reusable_across_calls():
+    """Scratch buffers are owned state; a second call must not see
+    residue from the first."""
+    config = QuantConfig(bits=8, stochastic_rounding=False)
+    quantizer = SegmentQuantizer(*segmented_array(SIZES)[1:], config)
+    for seed in (2, 9):
+        flat, starts, sizes = segmented_array(SIZES, seed=seed)
+        expected = fake_quantize_segments(flat, starts, sizes, config)
+        quantizer(flat)
+        assert np.array_equal(flat, expected)
