@@ -1,0 +1,206 @@
+"""Extension: SLO-aware training/serving co-scheduling (ext-8).
+
+A 32-SoC server runs a request-level inference service (resnet18,
+Figure-4a latency) against a diurnal arrival stream with an evening
+flash crowd, while training tenants harvest whatever the service
+leaves idle.  Two policies over the *identical* pre-generated request
+realisation:
+
+- **co-scheduled** — the serving plane autoscales on queue/SLO
+  pressure, claiming idle SoCs first and preempting training (warm
+  checkpoints) only when the idle pool runs dry; training grows back
+  as load ebbs.
+- **static** — the operator playbook: serving is permanently
+  over-provisioned for the flash peak and training is gated to a fixed
+  overnight window at its gang floor.
+
+Expected outcome: the co-scheduler holds the p99 SLO (violations only
+in the brief scale-up transient at flash onset, none sustained after
+it settles) while finishing strictly more training epochs than the
+static split.  Reruns are bit-identical.  When ``BENCH_SERVING_OUT``
+is set the side-by-side report is written there as JSON (CI uploads it
+as an artifact).
+"""
+
+import json
+import os
+
+from conftest import print_block
+
+from repro.cluster import ClusterTopology
+from repro.harness import format_table
+from repro.jobs import TrainingJob
+from repro.serving import (ArrivalProcess, FlashCrowd, Region,
+                           ServiceModel, ServingCoScheduler, ServingPlane)
+
+SOCS = 32
+START_HOUR = 16.0           # afternoon shoulder through the night
+HORIZON_HOURS = 14.0        # ends 06:00 next day
+PEAK_RPS = 60.0
+SLO_MS = 600.0
+FLASH = FlashCrowd(start_hour=20.0, duration_hours=1.5, multiplier=4.0)
+#: violation windows inside this many hours of flash onset are the
+#: scale-up transient; any outside it count as *sustained* violations
+ONSET_ALLOWANCE_HOURS = 0.5
+STATIC_WINDOW = (22.0, 8.0)  # overnight 22:00-06:00, wraps midnight
+#: static serving pool sized for the flash peak (240 rps / ~16.3 rps
+#: per replica), held for the whole run
+STATIC_REPLICAS = 15
+REPORT_ENV = "BENCH_SERVING_OUT"
+
+#: 40-epoch budgets exceed what the 8-hour static window can fit at the
+#: gang floor (~32 epochs/job), so finished epochs separate the policies
+JOBS = (
+    TrainingJob(id="fmnist-nightly", workload="lenet5_fmnist", priority=2,
+                min_socs=2, max_socs=12, epochs=40),
+    TrainingJob(id="emnist-nightly", workload="lenet5_emnist", priority=1,
+                min_socs=2, max_socs=12, epochs=40),
+)
+
+
+def make_arrivals() -> ArrivalProcess:
+    return ArrivalProcess([Region("global", PEAK_RPS)],
+                          start_hour=START_HOUR,
+                          horizon_hours=HORIZON_HOURS,
+                          flash_crowds=[FLASH], seed=0)
+
+
+def make_service() -> ServiceModel:
+    return ServiceModel.for_model("resnet18", max_batch=4)
+
+
+def run_policy(coscheduled: bool, jobs=JOBS):
+    topology = ClusterTopology(num_socs=SOCS)
+    if coscheduled:
+        plane = ServingPlane(make_arrivals(), make_service(),
+                             slo_ms=SLO_MS, min_replicas=1)
+        scheduler = ServingCoScheduler(topology, plane,
+                                       start_hour=START_HOUR,
+                                       horizon_hours=HORIZON_HOURS)
+    else:
+        plane = ServingPlane(make_arrivals(), make_service(),
+                             slo_ms=SLO_MS, autoscale=False)
+        # highest ids, mirroring where the autoscaler would claim
+        plane.provision(list(range(SOCS - STATIC_REPLICAS, SOCS)),
+                        START_HOUR)
+        scheduler = ServingCoScheduler(topology, plane,
+                                       start_hour=START_HOUR,
+                                       horizon_hours=HORIZON_HOURS,
+                                       elastic=False,
+                                       window=STATIC_WINDOW)
+    for job in jobs:
+        scheduler.submit(job)
+    return scheduler.run()
+
+
+def violation_split(serving: dict):
+    """(transient, sustained) violation-window counts.
+
+    Window stats carry absolute simulated hours, so the transient band
+    is simply ``[flash onset, onset + allowance)``.
+    """
+    transient = sustained = 0
+    for w in serving["window_stats"]:
+        if not w["violation"]:
+            continue
+        if FLASH.start_hour <= w["start_hour"] \
+                < FLASH.start_hour + ONSET_ALLOWANCE_HOURS:
+            transient += 1
+        else:
+            sustained += 1
+    return transient, sustained
+
+
+def comparison_report(co, static) -> dict:
+    return {
+        "socs": SOCS,
+        "horizon_hours": HORIZON_HOURS,
+        "slo_ms": SLO_MS,
+        "flash_crowd": [FLASH.start_hour, FLASH.duration_hours,
+                        FLASH.multiplier],
+        "static_window": list(STATIC_WINDOW),
+        "static_replicas": STATIC_REPLICAS,
+        "coscheduled": co.to_dict(),
+        "static": static.to_dict(),
+        "epochs_gain": sum(r.epochs_done for r in co.jobs.values())
+        - sum(r.epochs_done for r in static.jobs.values()),
+    }
+
+
+def test_coscheduler_holds_slo_and_beats_static_window(benchmark):
+    def compute():
+        return run_policy(coscheduled=True), run_policy(coscheduled=False)
+
+    co, static = benchmark.pedantic(compute, rounds=1, iterations=1)
+    co_serv = co.extra["serving"]
+    st_serv = static.extra["serving"]
+
+    rows = []
+    for label, rep, serv in (("co-scheduled", co, co_serv),
+                             ("static", static, st_serv)):
+        rows.append([label,
+                     sum(r.epochs_done for r in rep.jobs.values()),
+                     serv["violation_windows"],
+                     round(serv["max_p99_ms"], 1),
+                     serv["max_replicas_seen"],
+                     serv["dropped"],
+                     round(serv["replica_soc_hours"], 1)])
+    print_block("ext-8: co-scheduled vs static serving/training split",
+                format_table(["policy", "epochs_done", "viol_windows",
+                              "max_p99_ms", "max_replicas", "shed",
+                              "serve_soc_h"], rows))
+    transient, sustained = violation_split(co_serv)
+    print_block("ext-8: co-scheduler SLO detail",
+                f"requests={co_serv['requests']} "
+                f"served={co_serv['served']} "
+                f"transient_violations={transient} "
+                f"sustained_violations={sustained} "
+                f"scale_ups={co_serv['scale_ups']} "
+                f"scale_downs={co_serv['scale_downs']} "
+                f"preempted_socs={co_serv['preempted_socs']}")
+
+    out = os.environ.get(REPORT_ENV)
+    if out:
+        with open(out, "w") as fh:
+            json.dump(comparison_report(co, static), fh, indent=2,
+                      sort_keys=True)
+
+    # both policies saw the identical pre-generated realisation
+    assert co_serv["requests"] == st_serv["requests"]
+
+    # headline 1: the autoscaler holds the p99 SLO — any violations are
+    # confined to the scale-up transient at flash onset, and none after
+    # the plane settles
+    transient, sustained = violation_split(co_serv)
+    assert sustained == 0
+    assert co_serv["violation_windows"] == transient
+    # the flash actually stressed the plane (scale-ups happened and the
+    # pool grew well past the trickle floor)
+    assert co_serv["scale_ups"] > 0
+    assert co_serv["max_replicas_seen"] >= 8
+    assert co_serv["scale_downs"] > 0      # and released after the ebb
+
+    # headline 2: co-scheduling beats the static overnight split on
+    # training throughput (epochs finished inside the same horizon)
+    co_epochs = sum(r.epochs_done for r in co.jobs.values())
+    st_epochs = sum(r.epochs_done for r in static.jobs.values())
+    assert co_epochs > st_epochs
+    # nothing regressed to zero: the static baseline still trains
+    assert st_epochs > 0
+
+
+def test_corun_reruns_bit_identical(benchmark):
+    # small budgets keep the double run cheap; the arrival stream, the
+    # autoscaler, the preemptions and the training all still exercise
+    small = tuple(
+        TrainingJob(id=j.id, workload=j.workload, priority=j.priority,
+                    min_socs=j.min_socs, max_socs=j.max_socs, epochs=6,
+                    target_group_size=j.target_group_size)
+        for j in JOBS)
+
+    def compute():
+        return (run_policy(coscheduled=True, jobs=small),
+                run_policy(coscheduled=True, jobs=small))
+
+    first, second = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert first.to_dict() == second.to_dict()

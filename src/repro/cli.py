@@ -103,6 +103,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="host processes for logical-group real math")
     jobs.add_argument("--faults", default=None, metavar="SPEC",
                       help="fault-injection spec (epochs = rounds)")
+    jobs.add_argument("--serve", action="store_true",
+                      help="co-schedule with the request-level serving "
+                           "plane: inference replicas bid for SoCs under "
+                           "an SLO and preempt training on pressure")
+    jobs.add_argument("--serve-model", default=None, metavar="MODEL",
+                      help="model the replicas serve (default resnet18)")
+    jobs.add_argument("--peak-rps", type=float, default=None,
+                      help="peak aggregate request rate (default 60)")
+    jobs.add_argument("--slo-ms", type=float, default=None,
+                      help="p99 latency SLO per check window "
+                           "(default 600 ms)")
+    jobs.add_argument("--flash-crowd", action="append", default=None,
+                      metavar="START:DUR:MULT",
+                      help="inject a flash crowd (hours, hours, rate "
+                           "multiplier); repeatable")
+    jobs.add_argument("--min-replicas", type=int, default=None,
+                      help="serving floor (default 1)")
+    jobs.add_argument("--max-replicas", type=int, default=None,
+                      help="serving ceiling (default: the cluster)")
     jobs.add_argument("--report", default=None, metavar="PATH",
                       help="write the schedule report as JSON")
     _add_fusion_args(jobs)
@@ -430,16 +449,13 @@ def cmd_jobs(args, out) -> int:
         except argparse.ArgumentTypeError as err:
             print(str(err), file=sys.stderr)
             return 2
-    simulator = SessionSimulator(topology, peak_sessions_per_hour=peak,
-                                 seed=seed)
-    sessions = simulator.simulate_day()
     telemetry = _telemetry_for(args)
     fusion_threshold = setting(args.fusion_threshold_mb,
                                "fusion_threshold_mb", None)
     fusion_max_ops = setting(args.fusion_max_ops, "fusion_max_ops", None)
     graph = setting(args.graph, "graph", False)
-    scheduler = ElasticScheduler(
-        topology, sessions, quantum_hours=quantum, horizon_hours=horizon,
+    common = dict(
+        quantum_hours=quantum, horizon_hours=horizon,
         start_hour=start_hour, elastic=window is None, window=window,
         fault_schedule=fault_schedule, telemetry=telemetry,
         workers=args.workers,
@@ -448,6 +464,56 @@ def cmd_jobs(args, out) -> int:
         fusion_max_ops=(None if fusion_max_ops is None
                         else int(fusion_max_ops)),
         graph=bool(graph))
+    if args.serve:
+        from .serving import (ArrivalProcess, FlashCrowd, Region,
+                              ServiceModel, ServingCoScheduler,
+                              ServingPlane)
+        if telemetry is not None and telemetry.metrics.enabled \
+                and telemetry.metrics.histogram_reservoir is None:
+            # request-resolution latencies: bound the histograms before
+            # any instrument exists so a day of traffic stays O(4k)
+            telemetry.metrics.histogram_reservoir = 4096
+        try:
+            crowds = [FlashCrowd.parse(spec)
+                      for spec in (args.flash_crowd or
+                                   cluster.get("flash_crowds", []))]
+        except ValueError as err:
+            print(f"bad --flash-crowd spec: {err}", file=sys.stderr)
+            return 2
+        serve_model = str(setting(args.serve_model, "serve_model",
+                                  "resnet18"))
+        arrivals = ArrivalProcess(
+            [Region("global",
+                    float(setting(args.peak_rps, "peak_rps", 60.0)))],
+            start_hour=start_hour, horizon_hours=horizon,
+            flash_crowds=crowds, seed=seed)
+        try:
+            service = ServiceModel.for_model(serve_model,
+                                             soc=topology.soc, max_batch=4)
+        except (KeyError, ValueError):
+            print(f"unknown --serve-model {serve_model!r}",
+                  file=sys.stderr)
+            return 2
+        max_replicas = setting(args.max_replicas, "max_replicas", None)
+        plane = ServingPlane(
+            arrivals, service,
+            slo_ms=float(setting(args.slo_ms, "slo_ms", 600.0)),
+            min_replicas=int(setting(args.min_replicas,
+                                     "min_replicas", 1)),
+            max_replicas=(None if max_replicas is None
+                          else int(max_replicas)),
+            check_interval_hours=min(quantum, 0.25),
+            telemetry=telemetry)
+        scheduler = ServingCoScheduler(topology, plane, **common)
+    else:
+        simulator = SessionSimulator(topology, peak_sessions_per_hour=peak,
+                                     seed=seed)
+        sessions = simulator.simulate_day()
+        if telemetry is not None and telemetry.metrics.enabled:
+            # overload on the session side used to be invisible
+            telemetry.metrics.counter("serving.dropped_sessions").inc(
+                simulator.dropped_sessions)
+        scheduler = ElasticScheduler(topology, sessions, **common)
     admitted = 0
     for job in jobs:
         try:
@@ -469,6 +535,18 @@ def cmd_jobs(args, out) -> int:
     print(f"idle-capacity utilisation: {report.utilisation:.1%} "
           f"({report.used_soc_hours:.1f} of "
           f"{report.available_soc_hours:.1f} SoC-hours)", file=out)
+    serving = report.extra.get("serving")
+    if serving is not None:
+        p99 = serving.get("max_p99_ms")
+        print(f"serving: {serving['served']}/{serving['requests']} requests "
+              f"served ({serving['dropped']} shed), worst window p99 "
+              f"{'-' if p99 is None else f'{p99:.0f}ms'} vs SLO "
+              f"{serving['slo_ms']:.0f}ms, "
+              f"{serving['violation_windows']} violation window(s), "
+              f"replicas up to {serving['max_replicas_seen']} "
+              f"({serving['scale_ups']} scale-ups, "
+              f"{serving['preempted_socs']} preempted from training)",
+              file=out)
     if args.report is not None:
         import json
         with open(args.report, "w") as fh:

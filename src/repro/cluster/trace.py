@@ -58,6 +58,15 @@ class TidalTrace:
         shape = min(1.0, day + evening)
         return self.trough_busy + (self.peak_busy - self.trough_busy) * shape
 
+    def busy_ratio_array(self, hours: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`busy_ratio` for request-resolution callers
+        (the serving plane evaluates the rate at every arrival)."""
+        hours = np.asarray(hours, dtype=float) % 24.0
+        day = np.exp(-0.5 * ((hours - 14.0) / 2.4) ** 2)
+        evening = 0.45 * np.exp(-0.5 * ((hours - 20.5) / 1.2) ** 2)
+        shape = np.minimum(1.0, day + evening)
+        return self.trough_busy + (self.peak_busy - self.trough_busy) * shape
+
     def sample_day(self, points_per_hour: int = 4) -> tuple[np.ndarray,
                                                             np.ndarray]:
         """(hours, noisy busy ratios) over one day."""

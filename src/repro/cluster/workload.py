@@ -20,7 +20,8 @@ from ..core.scheduler import PreemptionEvent
 from .topology import ClusterTopology
 from .trace import TidalTrace
 
-__all__ = ["Session", "SessionSimulator", "derive_training_events"]
+__all__ = ["Session", "SessionIndex", "SessionSimulator",
+           "derive_training_events"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,66 @@ class Session:
     @property
     def end_hour(self) -> float:
         return self.start_hour + self.duration_hours
+
+
+class SessionIndex:
+    """Sorted-interval index over a session list for occupancy queries.
+
+    The naive queries rescan the whole session list per lookup
+    (O(N·S) for a busy curve); once occupancy is queried at request
+    resolution by the serving plane and the co-scheduler that rescan is
+    a hot path.  The index sorts the intervals once and answers
+
+    - :meth:`busy_socs_at` with one vectorised interval-stabbing pass
+      over contiguous arrays (no Python attribute walks), and
+    - :meth:`counts_at` with an event sweep: arrival/departure times are
+      pre-sorted, so each query is two binary searches.
+
+    Sessions are immutable, so the index never invalidates; build it
+    once per session list and query freely.
+    """
+
+    def __init__(self, sessions: "list[Session]"):
+        self._n = len(sessions)
+        self._starts = np.array([s.start_hour for s in sessions])
+        self._ends = np.array([s.end_hour for s in sessions])
+        self._socs = np.array([s.soc for s in sessions], dtype=np.int64)
+        # event sweep arrays: every interval edge in time order
+        self._sorted_starts = np.sort(self._starts)
+        self._sorted_ends = np.sort(self._ends)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def busy_socs_at(self, hour: float) -> "set[int]":
+        """SoCs with a live session at ``hour`` (same predicate as the
+        original scan: ``start <= hour < end``)."""
+        if self._n == 0:
+            return set()
+        mask = (self._starts <= hour) & (hour < self._ends)
+        return set(self._socs[mask].tolist())
+
+    def busy_count_at(self, hour: float) -> int:
+        """Number of live sessions at ``hour`` via the event sweep.
+
+        Sessions never overlap on one SoC, so this equals the busy-SoC
+        count.
+        """
+        started = int(np.searchsorted(self._sorted_starts, hour,
+                                      side="right"))
+        ended = int(np.searchsorted(self._sorted_ends, hour, side="right"))
+        return started - ended
+
+    def counts_at(self, hours: np.ndarray) -> np.ndarray:
+        """Busy counts for many query times at once (O(H log N))."""
+        hours = np.asarray(hours)
+        started = np.searchsorted(self._sorted_starts, hours, side="right")
+        ended = np.searchsorted(self._sorted_ends, hours, side="right")
+        return started - ended
+
+    def idle_socs_at(self, hour: float, num_socs: int) -> "list[int]":
+        busy = self.busy_socs_at(hour)
+        return [s for s in range(num_socs) if s not in busy]
 
 
 class SessionSimulator:
@@ -59,6 +120,11 @@ class SessionSimulator:
         self.peak_rate = peak_sessions_per_hour
         self.mean_session_hours = mean_session_hours
         self._rng = np.random.default_rng(seed)
+        #: arrivals dropped at saturation by the most recent
+        #: :meth:`simulate_day` call.  Overload used to be invisible —
+        #: saturated arrivals silently vanished; now callers can report
+        #: them (``serving.dropped_sessions`` in the metrics registry).
+        self.dropped_sessions = 0
 
     # ------------------------------------------------------------------
     def simulate_day(self, resolution_hours: float = 0.1) -> list[Session]:
@@ -66,12 +132,14 @@ class SessionSimulator:
 
         Sessions land on the lowest-numbered free SoC; arrivals beyond
         capacity are dropped (the real platform load-balances to other
-        servers).
+        servers) and counted in :attr:`dropped_sessions` so overload is
+        observable.
         """
         sessions: list[Session] = []
         free_at = np.zeros(self.topology.num_socs)
         steps = int(round(24.0 / resolution_hours))
         peak_busy = self.trace.peak_busy
+        dropped = 0
         for i in range(steps):
             hour = i * resolution_hours
             rate = (self.peak_rate * self.trace.busy_ratio(hour)
@@ -80,18 +148,19 @@ class SessionSimulator:
             for _ in range(arrivals):
                 soc = int(np.argmin(free_at))
                 if free_at[soc] > hour:
-                    continue  # saturated: drop
+                    dropped += 1  # saturated: drop, but make it visible
+                    continue
                 duration = float(self._rng.exponential(
                     self.mean_session_hours))
                 sessions.append(Session(soc, hour, duration))
                 free_at[soc] = hour + duration
+        self.dropped_sessions = dropped
         return sessions
 
     # ------------------------------------------------------------------
     @staticmethod
     def busy_socs_at(sessions: list[Session], hour: float) -> set[int]:
-        return {s.soc for s in sessions
-                if s.start_hour <= hour < s.end_hour}
+        return SessionIndex(sessions).busy_socs_at(hour)
 
     def idle_socs_at(self, sessions: list[Session],
                      hour: float) -> list[int]:
@@ -102,18 +171,32 @@ class SessionSimulator:
         At peak load this is legitimately *empty* — a training job must
         then stay queued rather than plan an empty logical group.
         """
-        busy = self.busy_socs_at(sessions, hour)
-        return [s for s in range(self.topology.num_socs) if s not in busy]
+        return self._index_for(sessions).idle_socs_at(
+            hour, self.topology.num_socs)
 
     def busy_curve(self, sessions: list[Session],
                    resolution_hours: float = 0.25) -> tuple[np.ndarray,
                                                             np.ndarray]:
-        """(hours, busy fraction) — the simulated counterpart of Fig 3."""
+        """(hours, busy fraction) — the simulated counterpart of Fig 3.
+
+        One event sweep over the sorted interval edges instead of a
+        rescan per sample: O((N + H) log N) for the whole curve.
+        """
         hours = np.arange(0.0, 24.0, resolution_hours)
-        busy = np.array([
-            len(self.busy_socs_at(sessions, h)) / self.topology.num_socs
-            for h in hours])
+        index = self._index_for(sessions)
+        busy = index.counts_at(hours) / self.topology.num_socs
         return hours, busy
+
+    def _index_for(self, sessions: "list[Session]") -> SessionIndex:
+        """Memoise the index of the last-queried session list (sessions
+        are immutable, so identity + length is a safe cache key)."""
+        cached = getattr(self, "_index_cache", None)
+        if cached is not None and cached[0] == id(sessions) \
+                and cached[1] == len(sessions):
+            return cached[2]
+        index = SessionIndex(sessions)
+        self._index_cache = (id(sessions), len(sessions), index)
+        return index
 
 
 def derive_training_events(sessions: list[Session],
@@ -142,12 +225,12 @@ def derive_training_events(sessions: list[Session],
     if idle_socs < socs_per_group:
         return []
     events: list[PreemptionEvent] = []
-    baseline = len(SessionSimulator.busy_socs_at(sessions,
-                                                 window_start_hour))
+    index = SessionIndex(sessions)
+    baseline = index.busy_count_at(window_start_hour)
     claimed_groups = 0
     for epoch in range(max_epochs):
         hour = (window_start_hour + (epoch + 1) * epoch_hours) % 24.0
-        busy_now = len(SessionSimulator.busy_socs_at(sessions, hour))
+        busy_now = index.busy_count_at(hour)
         surge = max(0, busy_now - baseline)
         groups_needed = min(surge // socs_per_group,
                             idle_socs // socs_per_group - claimed_groups)

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field, replace
 
 from ..cluster.clock import PhaseClock
 from ..cluster.topology import ClusterTopology
-from ..cluster.workload import Session, SessionSimulator
+from ..cluster.workload import Session, SessionIndex
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .execution import JobExecution
 from .queue import JobQueue, QueueEntry
@@ -155,6 +155,9 @@ class ElasticScheduler:
             raise ValueError("the static baseline needs a window")
         self.topology = topology
         self.sessions = list(sessions)
+        #: sorted-interval occupancy index — rounds query busy SoCs every
+        #: quantum, so the per-round O(sessions) rescan was a hot path
+        self._session_index = SessionIndex(self.sessions)
         self.quantum_hours = quantum_hours
         self.horizon_hours = horizon_hours
         self.start_hour = start_hour
@@ -205,7 +208,7 @@ class ElasticScheduler:
 
     def _idle_socs(self, hour: float, round_index: int) -> list:
         """SoCs free of sessions and faults, in id order (deterministic)."""
-        busy = SessionSimulator.busy_socs_at(self.sessions, hour % 24.0)
+        busy = self._session_index.busy_socs_at(hour % 24.0)
         dead = self._dead_socs(round_index)
         return [s for s in range(self.topology.num_socs)
                 if s not in busy and s not in dead]
@@ -360,6 +363,20 @@ class ElasticScheduler:
         return overhead
 
     # ------------------------------------------------------------------
+    # Round hooks (extension points for co-scheduling subclasses)
+    # ------------------------------------------------------------------
+    def _begin_round(self, hour: float, round_index: int) -> None:
+        """Called at the top of every round, before capacity is computed.
+
+        The serving co-scheduler (:mod:`repro.serving`) advances its
+        request plane to ``hour`` here and re-bids for SoCs, so the
+        capacity this round sees already reflects SLO pressure.
+        """
+
+    def _end_run(self, hour: float) -> None:
+        """Called once when the horizon is reached (before reporting)."""
+
+    # ------------------------------------------------------------------
     def run(self) -> ScheduleReport:
         """Drive the round loop to the horizon and report."""
         tracer = self.telemetry.tracer
@@ -371,6 +388,7 @@ class ElasticScheduler:
         round_index = 0
         try:
             while t < end:
+                self._begin_round(t, round_index)
                 capacity = self._capacity(t, round_index)
                 assigned = self._allocate(capacity, t)
                 overhead = self._apply_allocation(assigned, t)
@@ -428,10 +446,12 @@ class ElasticScheduler:
             # policies over the same denominator instead of rewarding
             # a baseline that merely stops early.
             while t < end - 1e-9:
+                self._begin_round(t, round_index)
                 dt = min(self.quantum_hours, end - t)
                 report.available_soc_hours += \
                     len(self._idle_socs(t, round_index)) * dt
                 t += dt
+            self._end_run(end)
         finally:
             for ex in self._execs.values():
                 ex.close()

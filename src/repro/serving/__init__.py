@@ -1,0 +1,35 @@
+"""Request-level inference serving with SLO-aware co-scheduling.
+
+The training side of this repo harvests idle SoCs; this package
+simulates the *serving* side that makes them idle — and takes them
+back.  Where :mod:`repro.cluster.workload` models opaque user sessions
+against a canned busy curve, here the inference workload exists at
+request granularity:
+
+- :mod:`arrivals` — per-region non-homogeneous Poisson request streams
+  following the tidal diurnal shape, with flash-crowd surges; the whole
+  horizon is pre-generated so realisations are policy-independent and
+  reruns bit-identical.
+- :mod:`replica` — per-SoC serving replicas: a batching service-time
+  model derived from the same Figure-4a calibration as the training
+  :class:`~repro.distributed.base.CostModel`.
+- :mod:`plane` — the shared request queue, replica pool, p50/p99
+  tracking against a configurable SLO, load shedding, and the
+  demand/backlog/violation-driven autoscaler.
+- :mod:`coscheduler` — an :class:`~repro.jobs.scheduler.ElasticScheduler`
+  subclass where training and serving bid for SoCs: serving scale-ups
+  claim idle chips first and preempt training (warm-checkpoint path)
+  only on deficit; training grows back as load ebbs.
+
+See DESIGN.md "Serving plane" for the arrival model, the SLO/bid
+semantics and the preemption path.
+"""
+
+from .arrivals import ArrivalProcess, FlashCrowd, Region
+from .coscheduler import ServingCoScheduler
+from .plane import ServingPlane, WindowStats
+from .replica import Replica, ServiceModel
+
+__all__ = ["ArrivalProcess", "FlashCrowd", "Region", "Replica",
+           "ServiceModel", "ServingCoScheduler", "ServingPlane",
+           "WindowStats"]

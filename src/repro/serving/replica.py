@@ -1,0 +1,123 @@
+"""Per-SoC serving replicas: service-time model and batching queues.
+
+A replica is one SoC running one model's inference server.  Its
+service time comes from the same Figure-4a calibration the training
+:class:`~repro.distributed.base.CostModel` uses: the measured per-sample
+NPU *training* latency (forward + backward + update) is scaled to the
+hosting SoC's NPU throughput, then divided by
+``INFERENCE_TRAIN_RATIO`` for the forward-only pass.  Batching
+amortises a fixed launch overhead across the batch, which is why
+replicas queue requests instead of serving them one by one — and why
+latency has a load-dependent tail the SLO must police.
+
+The queue itself lives in :class:`~repro.serving.plane.ServingPlane`
+(it is shared, so a scale-up can drain a backlog); a replica only
+tracks when its NPU frees up and how much work it has done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.spec import SOC_REGISTRY, SoCSpec, model_profile
+
+__all__ = ["ServiceModel", "Replica"]
+
+#: forward-only inference cost as a share of the measured
+#: forward+backward+update training step (the backward pass is ~2x the
+#: forward at these depths, so serving one sample costs about a third
+#: of training on it).
+INFERENCE_TRAIN_RATIO = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Calibrated inference timing for one model on one SoC type.
+
+    ``per_request_s`` is the marginal cost of one more request in a
+    batch; ``batch_overhead_s`` is the fixed cost of launching a batch
+    (graph dispatch, DMA setup).  ``batch_seconds(n)`` is the service
+    time of an ``n``-request batch.
+    """
+
+    model_name: str
+    per_request_s: float
+    batch_overhead_s: float
+    max_batch: int
+
+    def __post_init__(self):
+        if self.per_request_s <= 0:
+            raise ValueError("per_request_s must be positive")
+        if self.batch_overhead_s < 0:
+            raise ValueError("batch_overhead_s must be non-negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+    @classmethod
+    def for_model(cls, model_name: str, *, soc: SoCSpec | None = None,
+                  max_batch: int = 8,
+                  batch_overhead_s: float = 0.015) -> "ServiceModel":
+        """Derive from the shared calibration (same rule as CostModel).
+
+        Measured SD865 NPU latencies are rescaled to ``soc``'s NPU;
+        models without a measurement fall back to FLOPs over sustained
+        NPU throughput.  Either way the training-step time is scaled by
+        :data:`INFERENCE_TRAIN_RATIO` for the forward-only pass.
+        """
+        soc = soc or SOC_REGISTRY["sd865"]
+        profile = model_profile(model_name)
+        sd865 = SOC_REGISTRY["sd865"]
+        if profile.t_npu_sample_s is not None:
+            train_s = profile.t_npu_sample_s * sd865.npu.flops / soc.npu.flops
+        else:
+            train_s = profile.flops_per_sample / soc.npu.flops
+        return cls(model_name=model_name,
+                   per_request_s=train_s * INFERENCE_TRAIN_RATIO,
+                   batch_overhead_s=batch_overhead_s,
+                   max_batch=max_batch)
+
+    def batch_seconds(self, n: int) -> float:
+        """Service time of an ``n``-request batch."""
+        if not 1 <= n <= self.max_batch:
+            raise ValueError(f"batch size {n} not in [1, {self.max_batch}]")
+        return self.batch_overhead_s + n * self.per_request_s
+
+    @property
+    def peak_rps(self) -> float:
+        """Best-case throughput: full batches back to back."""
+        return self.max_batch / self.batch_seconds(self.max_batch)
+
+
+class Replica:
+    """One SoC's serving state: ready time, busy time, work counters."""
+
+    def __init__(self, soc: int, service: ServiceModel, *,
+                 ready_hour: float = 0.0):
+        self.soc = soc
+        self.service = service
+        #: not schedulable before this (model load / warm-up on spin-up)
+        self.ready_hour = ready_hour
+        #: the NPU is occupied until this hour
+        self.free_hour = ready_hour
+        self.requests_served = 0
+        self.batches = 0
+        self.busy_s = 0.0
+
+    def serve_batch(self, start_hour: float, n: int) -> float:
+        """Run an ``n``-request batch starting at ``start_hour``.
+
+        Returns the completion hour and advances the replica clock.
+        """
+        seconds = self.service.batch_seconds(n)
+        self.free_hour = start_hour + seconds / 3600.0
+        self.requests_served += n
+        self.batches += 1
+        self.busy_s += seconds
+        return self.free_hour
+
+    def utilisation(self, since_hour: float, until_hour: float) -> float:
+        """Busy share of the replica's lifetime inside a window."""
+        alive = max(0.0, until_hour - max(since_hour, self.ready_hour))
+        if alive <= 0:
+            return 0.0
+        return min(1.0, (self.busy_s / 3600.0) / alive)

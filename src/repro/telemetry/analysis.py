@@ -225,6 +225,9 @@ class TraceReport:
     faults: "list[dict]"
     jobs: "dict[str, dict]"
     graph_stats: "dict | None" = None
+    #: serving-plane rollup (``serve``/``scale`` spans), ``None`` when
+    #: the trace has no serving side
+    serving: "dict | None" = None
     anomalies: "list[Anomaly]" = field(default_factory=list)
 
     @property
@@ -272,6 +275,7 @@ class TraceReport:
             "faults": self.faults,
             "jobs": {job: stats for job, stats in sorted(self.jobs.items())},
             "graph_stats": self.graph_stats,
+            "serving": self.serving,
             "anomalies": [a.to_dict() for a in self.anomalies],
         }
 
@@ -493,14 +497,62 @@ def analyze_records(records, *, monitor: "HealthMonitor | None" = None,
         if record.kind == "graph_replay":
             graph_stats = dict(record.args)
 
+    serving = _serving_summary(records)
+
     report = TraceReport(windows=windows, num_records=len(records),
                          kind_counts=kind_counts, pcb_health=pcb_health,
-                         faults=faults, jobs=jobs, graph_stats=graph_stats)
+                         faults=faults, jobs=jobs, graph_stats=graph_stats,
+                         serving=serving)
     monitor = monitor if monitor is not None else HealthMonitor()
     report.anomalies = monitor.check(report)
     if metrics is not None and getattr(metrics, "enabled", False):
         monitor.emit(report.anomalies, metrics)
     return report
+
+
+def _serving_summary(records) -> "dict | None":
+    """Roll ``serve`` check-window spans into the report's serving block.
+
+    Window spans carry their own aggregates (the plane computes them at
+    request resolution), so this is pure accumulation — plus the SLO
+    violation timeline the health monitor and renderer surface.
+    """
+    spans = [r for r in records if r.kind == "serve" and r.ph == "X"]
+    if not spans:
+        return None
+    spans = sorted(spans, key=lambda r: r.ts_s)
+    totals = {"requests": 0, "served": 0, "dropped": 0}
+    violations = []
+    p99s = []
+    replicas = []
+    for span in spans:
+        args = span.args
+        totals["requests"] += int(args.get("arrivals", 0))
+        totals["served"] += int(args.get("served", 0))
+        totals["dropped"] += int(args.get("dropped", 0))
+        if "replicas" in args:
+            replicas.append(int(args["replicas"]))
+        if "p99_ms" in args:
+            p99s.append(float(args["p99_ms"]))
+        if args.get("violation"):
+            violations.append({
+                "ts_s": round(span.ts_s, 9),
+                "p99_ms": args.get("p99_ms"),
+                "queue_depth": args.get("queue_depth"),
+                "replicas": args.get("replicas"),
+            })
+    scale_events = sum(1 for r in records if r.kind == "scale")
+    return {
+        "windows": len(spans),
+        **totals,
+        "slo_ms": spans[0].args.get("slo_ms"),
+        "violation_windows": len(violations),
+        "violations": violations,
+        "max_p99_ms": max(p99s) if p99s else None,
+        "replicas_min": min(replicas) if replicas else 0,
+        "replicas_max": max(replicas) if replicas else 0,
+        "scale_events": scale_events,
+    }
 
 
 def analyze_trace(path, **kwargs) -> TraceReport:
@@ -596,6 +648,19 @@ class HealthMonitor:
                     value=float(stats["retries"]), threshold=0.0,
                     detail=(f"{stats['retries']} retries, "
                             f"{stats['wait_s']:.3f}s NIC wait")))
+        if report.serving is not None:
+            slo = report.serving.get("slo_ms") or 0.0
+            for violation in report.serving["violations"]:
+                p99 = violation.get("p99_ms")
+                anomalies.append(Anomaly(
+                    kind="slo_violation",
+                    where=f"serve t={violation['ts_s']:.0f}s",
+                    value=float(p99 if p99 is not None else 0.0),
+                    threshold=float(slo),
+                    detail=(f"p99 {p99:.0f}ms vs SLO {slo:.0f}ms, "
+                            if p99 is not None else "backlogged, ")
+                    + (f"{violation.get('replicas', '?')} replica(s), "
+                       f"queue {violation.get('queue_depth', '?')}")))
         horizon = report.total_s
         for job, stats in sorted(report.jobs.items()):
             starved = (horizon > 0 and stats["queue_wait_s"]
@@ -872,6 +937,20 @@ def render_report(report: TraceReport, fmt: str = "table",
         blocks.append(("job lanes", ["job", "epochs", "busy_s", "queued_s",
                                      "preempts", "resizes", "accuracy"],
                        rows))
+    if report.serving is not None:
+        serving = report.serving
+        rows = [[serving["windows"], serving["requests"], serving["served"],
+                 serving["dropped"],
+                 f"{serving['replicas_min']}-{serving['replicas_max']}",
+                 "" if serving["max_p99_ms"] is None
+                 else f"{serving['max_p99_ms']:.0f}",
+                 "" if serving["slo_ms"] is None
+                 else f"{serving['slo_ms']:.0f}",
+                 serving["violation_windows"], serving["scale_events"]]]
+        blocks.append(("serving plane",
+                       ["windows", "requests", "served", "dropped",
+                        "replicas", "max_p99_ms", "slo_ms", "violations",
+                        "scale_events"], rows))
     if report.graph_stats:
         blocks.append("graph executor: " + _graph_note(report.graph_stats))
     if report.anomalies:

@@ -97,6 +97,28 @@ class Histogram:
             if slot < self.reservoir:
                 self.observations[slot] = value
 
+    def observe_many(self, values) -> None:
+        """Bulk :meth:`observe` for request-resolution callers.
+
+        In unbounded mode the aggregates update in one pass without a
+        per-value Python call; in reservoir mode values go through
+        :meth:`observe` one by one so the RNG consumption — and thus the
+        sample — is identical to the equivalent loop.
+        """
+        if self.reservoir is not None:
+            for value in values:
+                self.observe(value)
+            return
+        values = [float(v) for v in values]
+        if not values:
+            return
+        self.count += len(values)
+        self.sum += sum(values)
+        low, high = min(values), max(values)
+        self.min = low if self.min is None else min(self.min, low)
+        self.max = high if self.max is None else max(self.max, high)
+        self.observations.extend(values)
+
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100].
 
@@ -143,6 +165,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
         pass
 
     def summary(self) -> dict:

@@ -27,12 +27,15 @@ __all__ = ["SPAN_KINDS", "TraceRecord", "NullTracer", "Tracer"]
 #: ``recovery`` and ``fault`` are the paper-facing kinds; ``job``,
 #: ``queue`` and ``resize`` belong to the multi-tenant job scheduler
 #: (:mod:`repro.jobs`); ``bucket_sync`` is one gradient bucket's
-#: collective under comm/compute overlap; the rest cover the remaining
+#: collective under comm/compute overlap; ``serve`` is one check window
+#: of the inference serving plane (:mod:`repro.serving`) and ``scale``
+#: its replica scale-up/down events; the rest cover the remaining
 #: charged phases so a trace accounts for every simulated second.
 SPAN_KINDS = frozenset({
     "compute", "allreduce", "leader_sync", "nic_wait", "checkpoint",
     "recovery", "fault", "dispatch", "update", "sync", "epoch",
     "preemption", "job", "queue", "resize", "bucket_sync", "graph_replay",
+    "serve", "scale",
 })
 
 

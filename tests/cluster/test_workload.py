@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.cluster import (ClusterTopology, Session, SessionSimulator,
-                           TidalTrace, derive_training_events)
+from repro.cluster import (ClusterTopology, Session, SessionIndex,
+                           SessionSimulator, TidalTrace,
+                           derive_training_events)
 
 
 def simulator(seed=0, socs=60):
@@ -110,6 +111,78 @@ class TestEventDerivation:
         assert derive_training_events(sessions, window_start_hour=13.0,
                                       epoch_hours=0.5, max_epochs=8,
                                       socs_per_group=4, idle_socs=3) == []
+
+
+class TestDroppedSessions:
+    def test_saturation_counts_drops(self):
+        """Tiny server + daytime-sized load: overload is counted, never
+        silent — arrivals either land as sessions or show up in the
+        drop counter."""
+        sim = SessionSimulator(ClusterTopology(num_socs=2),
+                               peak_sessions_per_hour=120.0, seed=0)
+        sessions = sim.simulate_day()
+        assert sim.dropped_sessions > 0
+        assert len(sessions) > 0
+
+    def test_light_load_drops_nothing(self):
+        sim = SessionSimulator(ClusterTopology(num_socs=60),
+                               peak_sessions_per_hour=2.0,
+                               mean_session_hours=0.1, seed=0)
+        sim.simulate_day()
+        assert sim.dropped_sessions == 0
+
+    def test_counter_resets_per_day(self):
+        sim = SessionSimulator(ClusterTopology(num_socs=2),
+                               peak_sessions_per_hour=120.0, seed=0)
+        sim.simulate_day()
+        first = sim.dropped_sessions
+        sim.simulate_day()
+        # overwritten by the new day, not accumulated
+        assert sim.dropped_sessions != first or first == 0
+
+    def test_deterministic(self):
+        def drops(seed):
+            sim = SessionSimulator(ClusterTopology(num_socs=2),
+                                   peak_sessions_per_hour=120.0,
+                                   seed=seed)
+            sim.simulate_day()
+            return sim.dropped_sessions
+        assert drops(7) == drops(7)
+
+
+class TestSessionIndex:
+    def test_matches_naive_scan(self):
+        sessions = simulator(socs=20).simulate_day()
+        index = SessionIndex(sessions)
+        for hour in np.arange(0.0, 24.0, 0.5):
+            naive = {s.soc for s in sessions
+                     if s.start_hour <= hour < s.end_hour}
+            assert index.busy_socs_at(hour) == naive
+            assert index.busy_count_at(hour) == len(naive)
+
+    def test_counts_at_vectorised(self):
+        sessions = simulator(socs=20).simulate_day()
+        index = SessionIndex(sessions)
+        hours = np.arange(0.0, 24.0, 0.25)
+        counts = index.counts_at(hours)
+        assert counts.tolist() == [index.busy_count_at(h) for h in hours]
+
+    def test_idle_complement(self):
+        index = SessionIndex([Session(1, 1.0, 2.0), Session(3, 1.5, 1.0)])
+        assert index.idle_socs_at(2.0, 4) == [0, 2]
+        assert index.idle_socs_at(10.0, 4) == [0, 1, 2, 3]
+
+    def test_boundary_semantics(self):
+        # same half-open predicate as the original scan
+        index = SessionIndex([Session(0, 1.0, 2.0)])
+        assert index.busy_socs_at(1.0) == {0}
+        assert index.busy_socs_at(3.0) == set()
+
+    def test_empty(self):
+        index = SessionIndex([])
+        assert len(index) == 0
+        assert index.busy_socs_at(5.0) == set()
+        assert index.counts_at(np.array([1.0, 2.0])).tolist() == [0, 0]
 
 
 class TestIdleSocsAt:

@@ -1,0 +1,32 @@
+"""Fixtures for co-scheduling tests: tiny jobs + hand-shaped arrivals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterTopology
+from repro.distributed import RunConfig
+
+
+@pytest.fixture(scope="session")
+def serving_topology():
+    return ClusterTopology(num_socs=8)
+
+
+@pytest.fixture()
+def config_factory(tiny_task, serving_topology):
+    """job -> RunConfig on the shared tiny task (fast real math)."""
+    def factory(job):
+        return RunConfig(
+            task=tiny_task, model_name="lenet5", width=1.0, batch_size=16,
+            lr=0.05, max_epochs=job.epochs, seed=job.seed,
+            topology=serving_topology, sim_samples_per_epoch=2_000,
+            sim_global_batch=64, num_groups=2)
+    return factory
+
+
+def uniform_times(t0: float, t1: float, rps: float) -> np.ndarray:
+    """Evenly spaced arrivals at ``rps`` over ``[t0, t1)`` hours."""
+    n = int(round((t1 - t0) * 3600.0 * rps))
+    return t0 + (np.arange(n) + 0.5) * (t1 - t0) / max(n, 1)

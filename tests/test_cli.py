@@ -303,6 +303,63 @@ jobs:
         assert "no jobs admitted" in capsys.readouterr().err
 
 
+class TestServeMode:
+    SPEC = TestJobsCommand.SPEC
+
+    def write_spec(self, tmp_path):
+        path = tmp_path / "jobs.yaml"
+        path.write_text(self.SPEC)
+        return str(path)
+
+    def serve_args(self, tmp_path, *extra):
+        return ["jobs", "--spec", self.write_spec(tmp_path), "--serve",
+                "--horizon", "2", "--peak-rps", "5", *extra]
+
+    def test_prints_serving_summary(self, tmp_path):
+        code, output = run_cli(self.serve_args(tmp_path))
+        assert code == 0
+        assert "serving:" in output
+        assert "requests served" in output
+        assert "smoke" in output           # training still ran
+
+    def test_serve_trace_and_metrics(self, tmp_path):
+        trace = tmp_path / "serve.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        code, _ = run_cli(self.serve_args(
+            tmp_path, "--trace", str(trace), "--trace-format", "jsonl",
+            "--metrics", str(metrics)))
+        assert code == 0
+        import json
+        kinds = {json.loads(line).get("kind")
+                 for line in trace.read_text().splitlines()}
+        assert "serve" in kinds
+        series = [json.loads(line)
+                  for line in metrics.read_text().splitlines()]
+        names = {s["name"] for s in series}
+        assert {"serving.requests", "serving.served",
+                "serving.latency_ms"} <= names
+        hist = next(s for s in series
+                    if s["name"] == "serving.latency_ms")
+        assert hist["count"] > 0
+
+    def test_deterministic_output(self, tmp_path):
+        first = run_cli(self.serve_args(tmp_path))
+        second = run_cli(self.serve_args(tmp_path))
+        assert first == second
+
+    def test_bad_flash_crowd_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli(self.serve_args(tmp_path,
+                                          "--flash-crowd", "20:1"))
+        assert code == 2
+        assert "flash-crowd" in capsys.readouterr().err
+
+    def test_unknown_serve_model_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli(self.serve_args(tmp_path, "--serve-model",
+                                          "nosuchmodel"))
+        assert code == 2
+        assert "serve-model" in capsys.readouterr().err
+
+
 class TestAnalyzeCommand:
     def _traced_run(self, tmp_path, name="run.jsonl", extra=()):
         trace = tmp_path / name
